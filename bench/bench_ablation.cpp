@@ -1,0 +1,148 @@
+//===- bench_ablation.cpp - Ablations of the design choices ----------------===//
+//
+// Part of the earthcc project.
+//
+// Sweeps the design choices DESIGN.md calls out, on two representative
+// benchmarks (power = blocking-dominated, health = pipelining/redundancy-
+// dominated), 4 nodes:
+//
+//   1. block threshold 1..6 words (paper picks 3);
+//   2. each optimization component disabled in turn (read motion,
+//      blocking, redundancy elimination, write blocking);
+//   3. optimistic vs pessimistic hoisting of reads out of conditionals.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/TablePrinter.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <iostream>
+
+using namespace earthcc;
+
+namespace {
+
+struct Config {
+  std::string Name;
+  CommOptions Comm;
+  bool InferLocality = false;
+};
+
+void runSweep(const char *Title, const std::vector<Config> &Configs,
+              const std::vector<std::string> &Benches, unsigned Nodes) {
+  std::printf("%s (on %u nodes)\n\n", Title, Nodes);
+  TablePrinter T({"configuration", "benchmark", "time (ms)", "total ops",
+                  "read", "write", "blkmov", "impr vs simple (%)"});
+  for (const std::string &Name : Benches) {
+    const Workload *W = findWorkload(Name);
+    RunResult S = runWorkload(*W, RunMode::Simple, Nodes);
+    if (!S.OK) {
+      std::fprintf(stderr, "%s simple failed: %s\n", Name.c_str(),
+                   S.Error.c_str());
+      continue;
+    }
+    T.addRow({"simple (no comm-opt)", Name,
+              TablePrinter::fmt(S.TimeNs / 1e6, 2),
+              std::to_string(S.Counters.total()),
+              std::to_string(S.Counters.ReadData),
+              std::to_string(S.Counters.WriteData),
+              std::to_string(S.Counters.BlkMov), "0.00"});
+    for (const Config &C : Configs) {
+      CompileOptions CO;
+      CO.Comm = C.Comm;
+      CO.InferLocality = C.InferLocality;
+      MachineConfig MC;
+      MC.NumNodes = Nodes;
+      RunResult O = compileAndRun(W->Source, MC, CO);
+      if (!O.OK) {
+        std::fprintf(stderr, "%s/%s failed: %s\n", Name.c_str(),
+                     C.Name.c_str(), O.Error.c_str());
+        continue;
+      }
+      if (O.ExitValue.I != S.ExitValue.I)
+        std::fprintf(stderr, "%s/%s: CHECKSUM MISMATCH\n", Name.c_str(),
+                     C.Name.c_str());
+      double Impr = 100.0 * (S.TimeNs - O.TimeNs) / S.TimeNs;
+      T.addRow({C.Name, Name, TablePrinter::fmt(O.TimeNs / 1e6, 2),
+                std::to_string(O.Counters.total()),
+                std::to_string(O.Counters.ReadData),
+                std::to_string(O.Counters.WriteData),
+                std::to_string(O.Counters.BlkMov),
+                TablePrinter::fmt(Impr, 2)});
+    }
+    T.addRule();
+  }
+  T.print(std::cout);
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  const unsigned Nodes = 4;
+  const std::vector<std::string> Benches = {"power", "health"};
+
+  // 1. Block threshold sweep.
+  {
+    std::vector<Config> Configs;
+    for (unsigned Th = 1; Th <= 6; ++Th) {
+      Config C;
+      C.Name = "block threshold = " + std::to_string(Th);
+      C.Comm.BlockThresholdWords = Th;
+      Configs.push_back(C);
+    }
+    runSweep("Ablation 1: pipelining-vs-blocking threshold "
+             "(paper: 3 words)",
+             Configs, Benches, Nodes);
+  }
+
+  // 2. Component knock-outs.
+  {
+    std::vector<Config> Configs;
+    Config Full;
+    Full.Name = "full optimization";
+    Configs.push_back(Full);
+    Config NoMotion;
+    NoMotion.Name = "no read motion (at-use placement)";
+    NoMotion.Comm.EnableReadMotion = false;
+    Configs.push_back(NoMotion);
+    Config NoBlock;
+    NoBlock.Name = "no blocking (pipelined only)";
+    NoBlock.Comm.EnableBlocking = false;
+    Configs.push_back(NoBlock);
+    Config NoRedund;
+    NoRedund.Name = "no redundancy elimination";
+    NoRedund.Comm.EnableRedundancyElim = false;
+    NoRedund.Comm.EnableReadMotion = false;
+    NoRedund.Comm.EnableBlocking = false;
+    NoRedund.Comm.EnableWriteBlocking = false;
+    Configs.push_back(NoRedund);
+    Config NoWrite;
+    NoWrite.Name = "no write blocking";
+    NoWrite.Comm.EnableWriteBlocking = false;
+    Configs.push_back(NoWrite);
+    Config WithLocality;
+    WithLocality.Name = "locality inference + full optimization";
+    WithLocality.InferLocality = true;
+    Configs.push_back(WithLocality);
+    runSweep("Ablation 2: optimization components disabled in turn "
+             "(plus locality inference on top)",
+             Configs, Benches, Nodes);
+  }
+
+  // 3. Conditional-read hoisting policy.
+  {
+    std::vector<Config> Configs;
+    Config Optimistic;
+    Optimistic.Name = "optimistic conditional reads (paper)";
+    Configs.push_back(Optimistic);
+    Config Pessimistic;
+    Pessimistic.Name = "pessimistic (no hoist out of branches)";
+    Pessimistic.Comm.Placement.OptimisticConditionalReads = false;
+    Configs.push_back(Pessimistic);
+    runSweep("Ablation 3: hoisting reads out of conditionals", Configs,
+             Benches, Nodes);
+  }
+  return 0;
+}

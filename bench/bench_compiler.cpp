@@ -1,0 +1,96 @@
+//===- bench_compiler.cpp - Compiler throughput (google-benchmark) ---------===//
+//
+// Part of the earthcc project.
+//
+// Engineering metric (not in the paper): wall-clock throughput of the
+// compiler pipeline phases — lexing, parsing, Simplify lowering, the
+// analyses (points-to, side effects, possible placement) and the full
+// pipeline with communication selection — over the largest benchmark
+// source (health).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Placement.h"
+#include "driver/Driver.h"
+#include "frontend/Lexer.h"
+#include "frontend/Parser.h"
+#include "frontend/Simplify.h"
+#include "workloads/Workloads.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace earthcc;
+
+namespace {
+
+const std::string &healthSource() {
+  static const std::string Src = findWorkload("health")->Source;
+  return Src;
+}
+
+void BM_Lex(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticsEngine Diags;
+    Lexer L(healthSource(), Diags);
+    benchmark::DoNotOptimize(L.lexAll());
+  }
+}
+BENCHMARK(BM_Lex);
+
+void BM_Parse(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticsEngine Diags;
+    Lexer L(healthSource(), Diags);
+    Parser P(L.lexAll(), Diags);
+    benchmark::DoNotOptimize(P.parseUnit());
+  }
+}
+BENCHMARK(BM_Parse);
+
+void BM_Simplify(benchmark::State &State) {
+  for (auto _ : State) {
+    DiagnosticsEngine Diags;
+    benchmark::DoNotOptimize(compileToSimple(healthSource(), Diags));
+  }
+}
+BENCHMARK(BM_Simplify);
+
+void BM_Analyses(benchmark::State &State) {
+  DiagnosticsEngine Diags;
+  auto M = compileToSimple(healthSource(), Diags);
+  for (auto _ : State) {
+    PointsToAnalysis PT(*M);
+    SideEffects SE(*M, PT);
+    for (const auto &F : M->functions())
+      benchmark::DoNotOptimize(runPlacementAnalysis(*F, SE));
+  }
+}
+BENCHMARK(BM_Analyses);
+
+void BM_FullPipelineNoOpt(benchmark::State &State) {
+  for (auto _ : State) {
+    CompileOptions CO;
+    CO.Optimize = false;
+    benchmark::DoNotOptimize(compileEarthC(healthSource(), CO));
+  }
+}
+BENCHMARK(BM_FullPipelineNoOpt);
+
+void BM_FullPipelineOptimized(benchmark::State &State) {
+  for (auto _ : State) {
+    CompileOptions CO;
+    benchmark::DoNotOptimize(compileEarthC(healthSource(), CO));
+  }
+}
+BENCHMARK(BM_FullPipelineOptimized);
+
+void BM_SimulateHealth1Node(benchmark::State &State) {
+  const Workload *W = findWorkload("health");
+  for (auto _ : State)
+    benchmark::DoNotOptimize(runWorkload(*W, RunMode::Optimized, 1));
+}
+BENCHMARK(BM_SimulateHealth1Node);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,137 @@
+//===- earthcc_main.cpp - The earthcc command-line driver ------------------===//
+//
+// Part of the earthcc project.
+//
+// Compiles an EARTH-C source file and runs it on the simulated EARTH-MANNA
+// machine:
+//
+//   earthcc [options] program.ec
+//
+//   --nodes N      machine size (default 4)
+//   --no-opt       disable the communication optimization
+//   --seq          sequential-C baseline (1 node, no EARTH operations)
+//   --dump-ir      print the SIMPLE program before execution
+//   --stats        print optimizer statistics and dynamic counters
+//   --entry NAME   entry function (default main)
+//   --threshold W  blocking threshold in words (default 3)
+//
+// Sample programs live in examples/programs/.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ThreadedC.h"
+#include "driver/Driver.h"
+#include "simple/Printer.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace earthcc;
+
+static void usage(const char *Argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--nodes N] [--no-opt] [--seq] [--locality] [--dump-ir] "
+               "[--emit-threaded] "
+               "[--stats] [--entry NAME] [--threshold W] program.ec\n",
+               Argv0);
+}
+
+int main(int argc, char **argv) {
+  unsigned Nodes = 4;
+  bool Optimize = true;
+  bool Locality = false;
+  bool Sequential = false;
+  bool DumpIR = false;
+  bool EmitThreaded = false;
+  bool Stats = false;
+  std::string Entry = "main";
+  std::string Path;
+  unsigned Threshold = 3;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--nodes" && I + 1 < argc) {
+      Nodes = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (Arg == "--no-opt") {
+      Optimize = false;
+    } else if (Arg == "--locality") {
+      Locality = true;
+    } else if (Arg == "--seq") {
+      Sequential = true;
+    } else if (Arg == "--dump-ir") {
+      DumpIR = true;
+    } else if (Arg == "--emit-threaded") {
+      EmitThreaded = true;
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg == "--entry" && I + 1 < argc) {
+      Entry = argv[++I];
+    } else if (Arg == "--threshold" && I + 1 < argc) {
+      Threshold = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      usage(argv[0]);
+      return 2;
+    } else {
+      Path = Arg;
+    }
+  }
+  if (Path.empty() || Nodes == 0) {
+    usage(argv[0]);
+    return 2;
+  }
+
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return 1;
+  }
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+
+  CompileOptions CO;
+  CO.Optimize = Optimize && !Sequential;
+  CO.InferLocality = Locality && !Sequential;
+  CO.Comm.BlockThresholdWords = Threshold;
+  CompileResult CR = compileEarthC(Buf.str(), CO);
+  if (!CR.OK) {
+    std::fprintf(stderr, "%s", CR.Messages.c_str());
+    return 1;
+  }
+
+  if (DumpIR)
+    std::printf("%s\n", printModule(*CR.M).c_str());
+  if (EmitThreaded)
+    std::printf("%s", emitThreadedC(*CR.M).c_str());
+
+  MachineConfig MC;
+  MC.NumNodes = Sequential ? 1 : Nodes;
+  MC.SequentialMode = Sequential;
+  RunResult R = runProgram(*CR.M, MC, Entry);
+  for (const std::string &Line : R.Output)
+    std::printf("%s\n", Line.c_str());
+  if (!R.OK) {
+    std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
+    return 1;
+  }
+
+  std::fprintf(stderr, "[%s: %.3f simulated ms on %u node%s]\n",
+               Path.c_str(), R.TimeNs / 1e6, MC.NumNodes,
+               MC.NumNodes == 1 ? "" : "s");
+  if (Stats) {
+    std::fprintf(stderr,
+                 "[ops: read=%llu write=%llu blkmov=%llu atomic=%llu "
+                 "local-fallback=%llu words-moved=%llu spawns=%llu]\n",
+                 (unsigned long long)R.Counters.ReadData,
+                 (unsigned long long)R.Counters.WriteData,
+                 (unsigned long long)R.Counters.BlkMov,
+                 (unsigned long long)R.Counters.Atomic,
+                 (unsigned long long)R.Counters.LocalFallbacks,
+                 (unsigned long long)R.Counters.WordsMoved,
+                 (unsigned long long)R.Counters.Spawns);
+    std::fprintf(stderr, "%s", CR.Stats.str().c_str());
+  }
+  return static_cast<int>(R.ExitValue.I);
+}

@@ -1,0 +1,51 @@
+// The paper's Figure 1(a): count occurrences of a node value in a list,
+// in parallel, with a shared accumulator.
+//
+//   ./build/examples/earthcc --nodes 4 --stats examples/programs/count.ec
+
+struct node { int value; node *next; };
+
+int equal_node(node local *p, node *q) {
+  int qv;
+  qv = q->value;
+  if (p->value == qv) { return 1; }
+  return 0;
+}
+
+int count(node *head, node *x) {
+  shared int cnt;
+  node *p;
+  int r;
+  writeto(&cnt, 0);
+  forall (p = head; p != NULL; p = p->next) {
+    int eq;
+    eq = equal_node(p, x)@OWNER_OF(p);
+    if (eq == 1) { addto(&cnt, 1); }
+  }
+  r = valueof(&cnt);
+  return r;
+}
+
+node *build(int n) {
+  node *head; node *p; int i;
+  head = NULL;
+  for (i = 0; i < n; i = i + 1) {
+    p = pmalloc(sizeof(node))@node(i % num_nodes());
+    p->value = i % 7;
+    p->next = head;
+    head = p;
+  }
+  return head;
+}
+
+int main() {
+  node *head; node *x;
+  int c;
+  head = build(70);
+  x = pmalloc(sizeof(node))@node(0);
+  x->value = 3;
+  x->next = NULL;
+  c = count(head, x);
+  print(c);
+  return c; // 10 of the 70 nodes carry value 3.
+}

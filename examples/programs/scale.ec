@@ -1,0 +1,28 @@
+// The paper's Figure 4: scale both coordinates of remote points.
+// With --threshold 2 the optimizer turns the function body into one
+// blkmov in and one blkmov out (Figure 4(d)).
+//
+//   ./build/examples/earthcc --nodes 2 --dump-ir --threshold 2 \
+//       examples/programs/scale.ec
+
+struct Point { double x; double y; };
+
+double scale(double v, double k) { return v * k; }
+
+void scale_point(Point *p, double k) {
+  p->x = scale(p->x, k);
+  p->y = scale(p->y, k);
+}
+
+int main() {
+  Point *p;
+  double x2;
+  p = pmalloc(sizeof(Point))@node(1);
+  p->x = 1.5;
+  p->y = 2.5;
+  scale_point(p, 4.0);
+  x2 = p->x;
+  print(x2);
+  print(p->y);
+  return x2; // 6
+}

@@ -1,0 +1,92 @@
+//===- quickstart.cpp - earthcc in five minutes ----------------------------===//
+//
+// Part of the earthcc project.
+//
+// Compiles the paper's running example (Figure 3, `distance`), shows the
+// SIMPLE code before and after communication optimization, and runs both
+// versions on the simulated EARTH-MANNA machine.
+//
+// Build & run:  ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "simple/Printer.h"
+
+#include <cstdio>
+
+using namespace earthcc;
+
+int main() {
+  // An EARTH-C program: a Point structure lives somewhere in the machine's
+  // global address space, so every access through `p` may be remote.
+  const char *Source = R"(
+    struct Point { double x; double y; };
+
+    double distance(Point *p) {
+      double dist_p;
+      dist_p = sqrt(p->x * p->x + p->y * p->y);
+      return dist_p;
+    }
+
+    int main() {
+      Point *p;
+      double d;
+      p = pmalloc(sizeof(Point))@node(1); // Allocate on node 1...
+      p->x = 3.0;
+      p->y = 4.0;
+      d = distance(p);                    // ...access it from node 0.
+      print(d);
+      if (fabs(d - 5.0) < 0.000001) { return 0; }
+      return 1;
+    }
+  )";
+
+  // 1. Compile without the communication optimization ("simple").
+  CompileOptions Simple;
+  Simple.Optimize = false;
+  CompileResult SimpleCR = compileEarthC(Source, Simple);
+  if (!SimpleCR.OK) {
+    std::fprintf(stderr, "compile error:\n%s\n", SimpleCR.Messages.c_str());
+    return 1;
+  }
+
+  // 2. Compile with the optimization (the paper's framework).
+  CompileResult OptCR = compileEarthC(Source, CompileOptions{});
+  if (!OptCR.OK) {
+    std::fprintf(stderr, "compile error:\n%s\n", OptCR.Messages.c_str());
+    return 1;
+  }
+
+  std::printf("=== SIMPLE form (unoptimized): four remote reads {r} ===\n%s\n",
+              printFunction(*SimpleCR.M->findFunction("distance")).c_str());
+  std::printf("=== after communication selection: two pipelined reads, "
+              "reused ===\n%s\n",
+              printFunction(*OptCR.M->findFunction("distance")).c_str());
+
+  // 3. Run both on a 2-node simulated EARTH-MANNA machine.
+  MachineConfig MC;
+  MC.NumNodes = 2;
+  RunResult SimpleRun = runProgram(*SimpleCR.M, MC);
+  RunResult OptRun = runProgram(*OptCR.M, MC);
+  if (!SimpleRun.OK || !OptRun.OK) {
+    std::fprintf(stderr, "runtime error: %s%s\n", SimpleRun.Error.c_str(),
+                 OptRun.Error.c_str());
+    return 1;
+  }
+
+  std::printf("=== execution on 2 simulated nodes ===\n");
+  std::printf("simple   : %8.0f ns, %llu remote ops (%llu reads)\n",
+              SimpleRun.TimeNs,
+              static_cast<unsigned long long>(SimpleRun.Counters.total()),
+              static_cast<unsigned long long>(SimpleRun.Counters.ReadData));
+  std::printf("optimized: %8.0f ns, %llu remote ops (%llu reads)\n",
+              OptRun.TimeNs,
+              static_cast<unsigned long long>(OptRun.Counters.total()),
+              static_cast<unsigned long long>(OptRun.Counters.ReadData));
+  std::printf("both computed distance = %s (exit codes %lld / %lld)\n",
+              SimpleRun.Output.empty() ? "?" : SimpleRun.Output[0].c_str(),
+              static_cast<long long>(SimpleRun.ExitValue.I),
+              static_cast<long long>(OptRun.ExitValue.I));
+  return SimpleRun.ExitValue.I == 0 && OptRun.ExitValue.I == 0 ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+//===- Locality.cpp -------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Locality.h"
+
+#include <map>
+#include <set>
+
+using namespace earthcc;
+
+namespace {
+
+/// Collects, per function, which pointer parameters are owner-placed at
+/// EVERY call site (and which functions are called at all).
+struct CallSiteFacts {
+  // Param index -> still a candidate?
+  std::map<const Function *, std::vector<bool>> Candidates;
+  std::set<const Function *> Called;
+
+  explicit CallSiteFacts(const Module &M) {
+    for (const auto &F : M.functions())
+      Candidates[F.get()] =
+          std::vector<bool>(F->params().size(), true);
+    for (const auto &F : M.functions())
+      forEachStmt(F->body(), [this](const Stmt &S) { visit(S); });
+    // Entry points (functions with no call sites) keep no candidates:
+    // their arguments come from outside any placement contract.
+    for (auto &[Fn, Flags] : Candidates)
+      if (!Called.count(Fn))
+        Flags.assign(Flags.size(), false);
+  }
+
+private:
+  void visit(const Stmt &S) {
+    const auto *C = dynCastStmt<CallStmt>(&S);
+    if (!C || !C->Callee)
+      return;
+    Called.insert(C->Callee);
+    auto &Flags = Candidates[C->Callee];
+    for (size_t I = 0; I != Flags.size() && I != C->Args.size(); ++I) {
+      if (!Flags[I])
+        continue;
+      bool OwnerPlaced = C->Placement == CallPlacement::OwnerOf &&
+                         C->PlacementArg.isVar() && C->Args[I].isVar() &&
+                         C->PlacementArg.getVar() == C->Args[I].getVar();
+      if (!OwnerPlaced)
+        Flags[I] = false;
+    }
+  }
+};
+
+/// True if \p F ever reassigns \p P (which would invalidate the local
+/// contract established at entry).
+bool paramReassigned(const Function &F, const Var *P) {
+  bool Reassigned = false;
+  forEachStmt(F.body(), [&](const Stmt &S) {
+    if (Reassigned)
+      return;
+    if (const auto *A = dynCastStmt<AssignStmt>(&S)) {
+      if (A->L.Kind == LValueKind::Var && A->L.V == P)
+        Reassigned = true;
+      return;
+    }
+    if (const auto *C = dynCastStmt<CallStmt>(&S)) {
+      if (C->Result == P)
+        Reassigned = true;
+      return;
+    }
+    if (const auto *At = dynCastStmt<AtomicStmt>(&S))
+      if (At->Result == P)
+        Reassigned = true;
+  });
+  return Reassigned;
+}
+
+/// Downgrades every access through \p P in \p F to Local.
+unsigned localizeAccesses(Function &F, const Var *P) {
+  unsigned Count = 0;
+  forEachStmt(F.body(), [&](Stmt &S) {
+    auto *A = dynCastStmt<AssignStmt>(&S);
+    if (!A)
+      return;
+    if (auto *L = dynCast<LoadRV>(A->R.get()))
+      if (L->Base == P && L->Loc != Locality::Local) {
+        L->Loc = Locality::Local;
+        ++Count;
+      }
+    if (A->L.Kind == LValueKind::Store && A->L.V == P &&
+        A->L.Loc != Locality::Local) {
+      A->L.Loc = Locality::Local;
+      ++Count;
+    }
+  });
+  return Count;
+}
+
+} // namespace
+
+unsigned earthcc::inferLocality(Module &M, Statistics &Stats) {
+  CallSiteFacts Facts(M);
+  unsigned Localized = 0;
+  for (const auto &F : M.functions()) {
+    const auto &Flags = Facts.Candidates[F.get()];
+    for (size_t I = 0; I != Flags.size(); ++I) {
+      if (!Flags[I])
+        continue;
+      const Var *P = F->params()[I];
+      if (!P->type()->isPointer() || P->type()->isLocalPointer())
+        continue;
+      if (paramReassigned(*F, P))
+        continue;
+      Stats.add("locality.params_marked");
+      unsigned N = localizeAccesses(*F, P);
+      Stats.add("locality.accesses_localized", N);
+      Localized += N;
+    }
+  }
+  return Localized;
+}

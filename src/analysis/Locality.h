@@ -1,0 +1,44 @@
+//===- Locality.h - Locality inference for placed calls ---------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lightweight version of the locality analysis the paper builds on
+/// (Zhu & Hendren, PACT'97 — Phase II "Locality Analysis" in the paper's
+/// Figure 2): it eliminates *pseudo-remote* operations, i.e. accesses the
+/// compiler must otherwise assume remote but that provably hit local
+/// memory.
+///
+/// The rule implemented here: if every call site of a function f places
+/// the invocation at the owner of the pointer passed for parameter p
+/// (`f(..., x, ...)@OWNER_OF(x)`), then inside f the memory *p is
+/// node-local, and — provided f never reassigns p — every `p->field`
+/// access can be downgraded from Remote to Local. This mirrors the
+/// explicit `local` qualifier of EARTH-C (the paper's Figure 1 writes
+/// `node local *p` by hand for exactly this situation) but infers it.
+///
+/// The simulator double-checks the inference: a Local access that reaches
+/// a remote address is a hard runtime error, so unsoundness here cannot
+/// silently corrupt experiments.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_ANALYSIS_LOCALITY_H
+#define EARTHCC_ANALYSIS_LOCALITY_H
+
+#include "simple/Function.h"
+#include "support/Statistics.h"
+
+namespace earthcc {
+
+/// Runs locality inference over \p M and downgrades provably-local
+/// accesses in place. Returns the number of accesses downgraded.
+/// Statistics keys: locality.params_marked, locality.accesses_localized.
+unsigned inferLocality(Module &M, Statistics &Stats);
+
+} // namespace earthcc
+
+#endif // EARTHCC_ANALYSIS_LOCALITY_H

@@ -1,0 +1,367 @@
+//===- Placement.cpp - Possible-placement analysis ------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Placement.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+using namespace earthcc;
+
+std::string RCE::str() const {
+  std::ostringstream OS;
+  OS << "(" << Base->name() << "->"
+     << (FieldName.empty() ? "*" : FieldName) << ", ";
+  if (Freq == std::floor(Freq))
+    OS << static_cast<long long>(Freq);
+  else
+    OS << Freq;
+  OS << ", ";
+  for (size_t I = 0; I != DList.size(); ++I)
+    OS << (I ? ":" : "") << "S" << DList[I];
+  OS << ")";
+  return OS.str();
+}
+
+const std::vector<RCE> &PlacementResult::readsBefore(const Stmt *S) const {
+  auto It = BeforeReads.find(S);
+  return It == BeforeReads.end() ? Empty : It->second;
+}
+
+const std::vector<RCE> &PlacementResult::writesAfter(const Stmt *S) const {
+  auto It = AfterWrites.find(S);
+  return It == AfterWrites.end() ? Empty : It->second;
+}
+
+namespace {
+
+/// Working set keyed by (base variable, word offset) so that tuples for the
+/// same location merge by summing frequencies and uniting Dlists.
+using RCEKey = std::pair<const Var *, unsigned>;
+using RCESet = std::map<RCEKey, RCE>;
+
+void addToSet(const RCE &T, RCESet &Set) {
+  auto [It, Inserted] = Set.try_emplace({T.Base, T.Off}, T);
+  if (Inserted)
+    return;
+  RCE &Existing = It->second;
+  Existing.Freq += T.Freq;
+  std::vector<int> Merged;
+  std::set_union(Existing.DList.begin(), Existing.DList.end(),
+                 T.DList.begin(), T.DList.end(), std::back_inserter(Merged));
+  Existing.DList = std::move(Merged);
+}
+
+std::vector<RCE> toVector(const RCESet &Set) {
+  std::vector<RCE> Out;
+  Out.reserve(Set.size());
+  for (const auto &[Key, T] : Set)
+    Out.push_back(T);
+  // Deterministic order: by variable id, then offset.
+  std::sort(Out.begin(), Out.end(), [](const RCE &A, const RCE &B) {
+    if (A.Base->id() != B.Base->id())
+      return A.Base->id() < B.Base->id();
+    return A.Off < B.Off;
+  });
+  return Out;
+}
+
+class PlacementAnalyzer {
+public:
+  PlacementAnalyzer(const Function &F, const SideEffects &SE,
+                    const PlacementOptions &Opts)
+      : F(F), SE(SE), Opts(Opts) {}
+
+  PlacementResult run() {
+    collectReadsSeq(F.body());
+    collectWritesSeq(F.body());
+    return std::move(Result);
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Kill predicates.
+  //===--------------------------------------------------------------------===
+
+  bool killsRead(const RCE &T, const Stmt &S) const {
+    if (SE.varWritten(T.Base, S))
+      return true;
+    return SE.accessedViaAlias(T.Base, T.Off, S, /*Write=*/true);
+  }
+
+  bool killsWrite(const RCE &T, const Stmt &S) const {
+    if (SE.varWritten(T.Base, S))
+      return true;
+    if (SE.containsReturn(S))
+      return true; // A write may never sink below a return.
+    return SE.accessedViaAlias(T.Base, T.Off, S, /*Write=*/false) ||
+           SE.accessedViaAlias(T.Base, T.Off, S, /*Write=*/true);
+  }
+
+  //===--------------------------------------------------------------------===
+  // RemoteReads: backward propagation (paper Fig. 5/6, READ rules).
+  //===--------------------------------------------------------------------===
+
+  /// Returns the set of read RCEs placeable just before \p S (its "gen"
+  /// set, in the paper's terms — what collectCommSet returns).
+  RCESet collectReads(const Stmt &S) {
+    switch (S.kind()) {
+    case StmtKind::Assign: {
+      const auto &A = castStmt<AssignStmt>(S);
+      RCESet Out;
+      if (A.isRemoteRead()) {
+        const auto &L = static_cast<const LoadRV &>(*A.R);
+        RCE T;
+        T.Base = L.Base;
+        T.Off = L.OffsetWords;
+        T.FieldName = L.FieldName;
+        T.ValueTy = L.ValueTy;
+        T.Freq = 1.0;
+        T.DList = {S.label()};
+        addToSet(T, Out);
+      }
+      return Out;
+    }
+    case StmtKind::Call:
+    case StmtKind::Return:
+    case StmtKind::BlkMov:
+    case StmtKind::Atomic:
+      return {};
+    case StmtKind::Seq: {
+      const auto &Seq = castStmt<SeqStmt>(S);
+      if (!Seq.Parallel)
+        return collectReadsSeq(Seq);
+      // Parallel sequence: branches are non-interfering; the set placeable
+      // before the whole construct is the union of the branch tops.
+      RCESet Out;
+      for (const auto &Branch : Seq.Stmts) {
+        RCESet B = collectReads(*Branch);
+        for (const auto &[Key, T] : B)
+          addToSet(T, Out);
+      }
+      return Out;
+    }
+    case StmtKind::If: {
+      const auto &If = castStmt<IfStmt>(S);
+      RCESet ThenSet = collectReadsSeq(*If.Then);
+      RCESet ElseSet = collectReadsSeq(*If.Else);
+      if (!Opts.OptimisticConditionalReads)
+        return {};
+      // Reads may hoist out of either alternative (spurious reads are
+      // safe); halve the frequency to reflect the branch.
+      RCESet Out;
+      for (const auto *Set : {&ThenSet, &ElseSet}) {
+        for (const auto &[Key, T] : *Set) {
+          RCE Adjusted = T;
+          Adjusted.Freq = T.Freq / 2.0;
+          addToSet(Adjusted, Out);
+        }
+      }
+      return Out;
+    }
+    case StmtKind::Switch: {
+      const auto &Sw = castStmt<SwitchStmt>(S);
+      if (!Opts.OptimisticConditionalReads)
+        return {};
+      std::vector<RCESet> Alternatives;
+      for (const auto &C : Sw.Cases)
+        Alternatives.push_back(collectReadsSeq(*C.Body));
+      Alternatives.push_back(collectReadsSeq(*Sw.Default));
+      double N = static_cast<double>(Alternatives.size());
+      RCESet Out;
+      for (const RCESet &Set : Alternatives) {
+        for (const auto &[Key, T] : Set) {
+          RCE Adjusted = T;
+          Adjusted.Freq = T.Freq / N;
+          addToSet(Adjusted, Out);
+        }
+      }
+      return Out;
+    }
+    case StmtKind::While: {
+      const auto &W = castStmt<WhileStmt>(S);
+      RCESet Body = collectReadsSeq(*W.Body);
+      return hoistOutOfLoop(Body, S);
+    }
+    case StmtKind::Forall: {
+      const auto &Fa = castStmt<ForallStmt>(S);
+      RCESet Combined = collectReadsSeq(*Fa.Init);
+      for (const auto &[Key, T] : collectReadsSeq(*Fa.Step))
+        addToSet(T, Combined);
+      for (const auto &[Key, T] : collectReadsSeq(*Fa.Body))
+        addToSet(T, Combined);
+      return hoistOutOfLoop(Combined, S);
+    }
+    }
+    return {};
+  }
+
+  /// Filters \p BodySet by the loop's kill set and scales frequencies.
+  RCESet hoistOutOfLoop(const RCESet &BodySet, const Stmt &Loop) {
+    RCESet Out;
+    for (const auto &[Key, T] : BodySet) {
+      if (killsRead(T, Loop))
+        continue;
+      RCE Adjusted = T;
+      Adjusted.Freq = T.Freq * Opts.LoopFrequencyFactor;
+      addToSet(Adjusted, Out);
+    }
+    return Out;
+  }
+
+  /// The paper's collectCommReadsSeq: backward walk recording the set
+  /// placeable just before every element.
+  RCESet collectReadsSeq(const SeqStmt &Seq) {
+    if (Seq.Stmts.empty())
+      return {};
+    RCESet Curr = collectReads(*Seq.Stmts.back());
+    Result.BeforeReads[Seq.Stmts.back().get()] = toVector(Curr);
+    for (size_t I = Seq.Stmts.size() - 1; I-- > 0;) {
+      const Stmt &Pred = *Seq.Stmts[I];
+      RCESet PredSet = collectReads(Pred);
+      for (const auto &[Key, T] : Curr)
+        if (!killsRead(T, Pred))
+          addToSet(T, PredSet);
+      Curr = std::move(PredSet);
+      Result.BeforeReads[&Pred] = toVector(Curr);
+    }
+    return Curr;
+  }
+
+  //===--------------------------------------------------------------------===
+  // RemoteWrites: forward propagation (paper Fig. 5/6, WRITE rules).
+  //===--------------------------------------------------------------------===
+
+  RCESet collectWrites(const Stmt &S) {
+    switch (S.kind()) {
+    case StmtKind::Assign: {
+      const auto &A = castStmt<AssignStmt>(S);
+      RCESet Out;
+      if (A.isRemoteWrite()) {
+        RCE T;
+        T.Base = A.L.V;
+        T.Off = A.L.OffsetWords;
+        T.FieldName = A.L.FieldName;
+        T.ValueTy = nullptr;
+        T.Freq = 1.0;
+        T.DList = {S.label()};
+        addToSet(T, Out);
+      }
+      return Out;
+    }
+    case StmtKind::Call:
+    case StmtKind::Return:
+    case StmtKind::BlkMov:
+    case StmtKind::Atomic:
+      return {};
+    case StmtKind::Seq: {
+      const auto &Seq = castStmt<SeqStmt>(S);
+      if (!Seq.Parallel)
+        return collectWritesSeq(Seq);
+      RCESet Out;
+      for (const auto &Branch : Seq.Stmts) {
+        RCESet B = collectWrites(*Branch);
+        for (const auto &[Key, T] : B)
+          addToSet(T, Out);
+      }
+      return Out;
+    }
+    case StmtKind::If: {
+      const auto &If = castStmt<IfStmt>(S);
+      RCESet ThenSet = collectWritesSeq(*If.Then);
+      RCESet ElseSet = collectWritesSeq(*If.Else);
+      // Conservative: only writes present in BOTH alternatives may move
+      // below the conditional (it is never safe to write spurious fields).
+      RCESet Out;
+      for (const auto &[Key, T] : ThenSet) {
+        auto It = ElseSet.find(Key);
+        if (It == ElseSet.end())
+          continue;
+        RCE A = T;
+        A.Freq = T.Freq / 2.0;
+        addToSet(A, Out);
+        RCE B = It->second;
+        B.Freq = B.Freq / 2.0;
+        addToSet(B, Out);
+      }
+      return Out;
+    }
+    case StmtKind::Switch: {
+      const auto &Sw = castStmt<SwitchStmt>(S);
+      std::vector<RCESet> Alternatives;
+      for (const auto &C : Sw.Cases)
+        Alternatives.push_back(collectWritesSeq(*C.Body));
+      Alternatives.push_back(collectWritesSeq(*Sw.Default));
+      if (Alternatives.empty())
+        return {};
+      double N = static_cast<double>(Alternatives.size());
+      RCESet Out;
+      for (const auto &[Key, T] : Alternatives.front()) {
+        bool InAll = true;
+        for (size_t I = 1; I < Alternatives.size() && InAll; ++I)
+          InAll = Alternatives[I].count(Key) != 0;
+        if (!InAll)
+          continue;
+        for (const RCESet &Set : Alternatives) {
+          RCE A = Set.at(Key);
+          A.Freq /= N;
+          addToSet(A, Out);
+        }
+      }
+      return Out;
+    }
+    case StmtKind::While:
+    case StmtKind::Forall:
+      // Loops are not known to execute exactly once: writes stay inside
+      // (the paper's executesOnce() guard; we have no such static proof).
+      collectWritesSeq(loopBody(S));
+      if (S.kind() == StmtKind::Forall) {
+        collectWritesSeq(*castStmt<ForallStmt>(S).Init);
+        collectWritesSeq(*castStmt<ForallStmt>(S).Step);
+      }
+      return {};
+    }
+    return {};
+  }
+
+  static const SeqStmt &loopBody(const Stmt &S) {
+    if (const auto *W = dynCastStmt<WhileStmt>(&S))
+      return *W->Body;
+    return *castStmt<ForallStmt>(S).Body;
+  }
+
+  RCESet collectWritesSeq(const SeqStmt &Seq) {
+    if (Seq.Stmts.empty())
+      return {};
+    RCESet Curr = collectWrites(*Seq.Stmts.front());
+    Result.AfterWrites[Seq.Stmts.front().get()] = toVector(Curr);
+    for (size_t I = 1; I != Seq.Stmts.size(); ++I) {
+      const Stmt &Succ = *Seq.Stmts[I];
+      RCESet SuccSet = collectWrites(Succ);
+      for (const auto &[Key, T] : Curr)
+        if (!killsWrite(T, Succ))
+          addToSet(T, SuccSet);
+      Curr = std::move(SuccSet);
+      Result.AfterWrites[&Succ] = toVector(Curr);
+    }
+    return Curr;
+  }
+
+  const Function &F;
+  const SideEffects &SE;
+  const PlacementOptions &Opts;
+  PlacementResult Result;
+};
+
+} // namespace
+
+PlacementResult earthcc::runPlacementAnalysis(const Function &F,
+                                              const SideEffects &SE,
+                                              const PlacementOptions &Opts) {
+  return PlacementAnalyzer(F, SE, Opts).run();
+}

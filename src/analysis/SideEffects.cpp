@@ -1,0 +1,230 @@
+//===- SideEffects.cpp ----------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/SideEffects.h"
+
+#include <cassert>
+
+using namespace earthcc;
+
+SideEffects::SideEffects(const Module &M, const PointsToAnalysis &PT)
+    : PT(PT) {
+  computeSummaries(M);
+  // Precompute per-statement effects eagerly (cheap, keeps queries const).
+  for (const auto &F : M.functions())
+    computeStmt(F->body());
+}
+
+//===----------------------------------------------------------------------===//
+// Function heap summaries.
+//===----------------------------------------------------------------------===//
+
+void SideEffects::computeSummaries(const Module &M) {
+  // Collect each function's own direct heap accesses plus call edges.
+  std::map<const Function *, std::vector<const Function *>> Callees;
+  for (const auto &F : M.functions()) {
+    PointsToAnalysis::TargetSet Reads, Writes;
+    std::vector<const Function *> Calls;
+    forEachStmt(F->body(), [&](const Stmt &S) {
+      switch (S.kind()) {
+      case StmtKind::Assign: {
+        const auto &A = castStmt<AssignStmt>(S);
+        if (const auto *L = dynCast<LoadRV>(A.R.get()))
+          for (auto T : PT.accessedWords(L->Base, L->OffsetWords))
+            Reads.insert(T);
+        if (A.L.Kind == LValueKind::Store)
+          for (auto T : PT.accessedWords(A.L.V, A.L.OffsetWords))
+            Writes.insert(T);
+        return;
+      }
+      case StmtKind::BlkMov: {
+        const auto &B = castStmt<BlkMovStmt>(S);
+        for (unsigned W = 0; W != B.Words; ++W)
+          for (auto T : PT.accessedWords(B.Ptr, W))
+            (B.Dir == BlkMovDir::ReadToLocal ? Reads : Writes).insert(T);
+        return;
+      }
+      case StmtKind::Call: {
+        const auto &C = castStmt<CallStmt>(S);
+        if (C.Callee)
+          Calls.push_back(C.Callee);
+        return;
+      }
+      default:
+        return;
+      }
+    });
+    SummaryReads[F.get()] = std::move(Reads);
+    SummaryWrites[F.get()] = std::move(Writes);
+    Callees[F.get()] = std::move(Calls);
+  }
+
+  // Close over the call graph (fixpoint handles recursion).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &F : M.functions()) {
+      auto &Reads = SummaryReads[F.get()];
+      auto &Writes = SummaryWrites[F.get()];
+      for (const Function *Callee : Callees[F.get()]) {
+        for (auto T : SummaryReads[Callee])
+          Changed |= Reads.insert(T).second;
+        for (auto T : SummaryWrites[Callee])
+          Changed |= Writes.insert(T).second;
+      }
+    }
+  }
+}
+
+const PointsToAnalysis::TargetSet &
+SideEffects::functionReads(const Function *F) const {
+  auto It = SummaryReads.find(F);
+  return It == SummaryReads.end() ? Empty : It->second;
+}
+
+const PointsToAnalysis::TargetSet &
+SideEffects::functionWrites(const Function *F) const {
+  auto It = SummaryWrites.find(F);
+  return It == SummaryWrites.end() ? Empty : It->second;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-statement effects.
+//===----------------------------------------------------------------------===//
+
+SideEffects::StmtEffects SideEffects::computeStmt(const Stmt &S) {
+  if (auto It = Cache.find(&S); It != Cache.end())
+    return It->second;
+
+  StmtEffects E;
+  auto merge = [&E](const StmtEffects &Child) {
+    E.VarWrites.insert(Child.VarWrites.begin(), Child.VarWrites.end());
+    E.Heap.insert(E.Heap.end(), Child.Heap.begin(), Child.Heap.end());
+    E.CallReadWords.insert(Child.CallReadWords.begin(),
+                           Child.CallReadWords.end());
+    E.CallWriteWords.insert(Child.CallWriteWords.begin(),
+                            Child.CallWriteWords.end());
+    E.HasReturn |= Child.HasReturn;
+  };
+
+  switch (S.kind()) {
+  case StmtKind::Assign: {
+    const auto &A = castStmt<AssignStmt>(S);
+    if (const auto *L = dynCast<LoadRV>(A.R.get()))
+      E.Heap.push_back({L->Base, L->OffsetWords, /*IsWrite=*/false});
+    switch (A.L.Kind) {
+    case LValueKind::Var:
+      E.VarWrites.insert(A.L.V);
+      break;
+    case LValueKind::FieldWrite:
+      E.VarWrites.insert(A.L.V); // The struct variable is (partly) written.
+      break;
+    case LValueKind::Store:
+      E.Heap.push_back({A.L.V, A.L.OffsetWords, /*IsWrite=*/true});
+      break;
+    }
+    break;
+  }
+  case StmtKind::Call: {
+    const auto &C = castStmt<CallStmt>(S);
+    if (C.Result)
+      E.VarWrites.insert(C.Result);
+    if (C.Callee) {
+      const auto &R = functionReads(C.Callee);
+      const auto &W = functionWrites(C.Callee);
+      E.CallReadWords.insert(R.begin(), R.end());
+      E.CallWriteWords.insert(W.begin(), W.end());
+    }
+    break;
+  }
+  case StmtKind::Return:
+    E.HasReturn = true;
+    break;
+  case StmtKind::BlkMov: {
+    const auto &B = castStmt<BlkMovStmt>(S);
+    if (B.Dir == BlkMovDir::ReadToLocal)
+      E.VarWrites.insert(B.LocalStruct);
+    for (unsigned W = 0; W != B.Words; ++W)
+      E.Heap.push_back({B.Ptr, W, B.Dir == BlkMovDir::WriteFromLocal});
+    break;
+  }
+  case StmtKind::Atomic: {
+    const auto &A = castStmt<AtomicStmt>(S);
+    if (A.Result)
+      E.VarWrites.insert(A.Result);
+    break;
+  }
+  case StmtKind::Seq: {
+    const auto &Seq = castStmt<SeqStmt>(S);
+    for (const auto &Child : Seq.Stmts)
+      merge(computeStmt(*Child));
+    break;
+  }
+  case StmtKind::If:
+  case StmtKind::Switch:
+  case StmtKind::While:
+  case StmtKind::Forall:
+    forEachChildSeq(S, [&](const SeqStmt &Child) { merge(computeStmt(Child)); });
+    break;
+  }
+
+  Cache[&S] = E;
+  return E;
+}
+
+const SideEffects::StmtEffects &SideEffects::effects(const Stmt &S) const {
+  auto It = Cache.find(&S);
+  assert(It != Cache.end() && "statement not covered by this SideEffects; "
+                              "was it created after analysis?");
+  return It->second;
+}
+
+bool SideEffects::varWritten(const Var *V, const Stmt &S) const {
+  return effects(S).VarWrites.count(V) != 0;
+}
+
+bool SideEffects::containsReturn(const Stmt &S) const {
+  return effects(S).HasReturn;
+}
+
+bool SideEffects::directlyReads(const Var *P, const Stmt &S) const {
+  for (const HeapAccess &H : effects(S).Heap)
+    if (!H.IsWrite && H.Base == P)
+      return true;
+  return false;
+}
+
+bool SideEffects::directlyWrites(const Var *P, unsigned Off,
+                                 const Stmt &S) const {
+  for (const HeapAccess &H : effects(S).Heap)
+    if (H.IsWrite && H.Base == P && H.Off == Off)
+      return true;
+  return false;
+}
+
+bool SideEffects::accessedViaAlias(const Var *P, unsigned Off, const Stmt &S,
+                                   bool Write) const {
+  const StmtEffects &E = effects(S);
+
+  // Direct accesses via other base variables.
+  for (const HeapAccess &H : E.Heap) {
+    if (H.IsWrite != Write)
+      continue;
+    if (H.Base == P)
+      continue; // Direct access: never an alias.
+    if (PT.mayAlias(P, Off, H.Base, H.Off))
+      return true;
+  }
+
+  // Call effects (always "via alias": the callee uses its own variables).
+  const auto &Words = Write ? E.CallWriteWords : E.CallReadWords;
+  if (Words.empty())
+    return false;
+  for (auto T : PT.accessedWords(P, Off))
+    if (Words.count(T))
+      return true;
+  return false;
+}

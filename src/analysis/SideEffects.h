@@ -1,0 +1,98 @@
+//===- SideEffects.h - Read/write sets for SIMPLE statements ----*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decorates statements with the side-effect information the paper's
+/// possible-placement analysis consumes:
+///
+///  - varWritten(v, S): S (or anything nested in it, including calls'
+///    results) assigns the variable v directly;
+///  - accessedViaAlias(p, off, S, Write): S may read/write the memory that
+///    `p->off` denotes through a base variable *different from* p, or
+///    through a function call. Direct accesses via p itself are excluded —
+///    the paper relies on that to keep read tuples alive across direct
+///    writes (which blocked communication later absorbs into the local
+///    struct copy).
+///
+/// Heap effects of calls are interprocedural: every function gets a summary
+/// of abstract words (from PointsToAnalysis) it may read/write, closed over
+/// the call graph by fixpoint (recursion-safe).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_ANALYSIS_SIDEEFFECTS_H
+#define EARTHCC_ANALYSIS_SIDEEFFECTS_H
+
+#include "analysis/PointsTo.h"
+
+#include <map>
+#include <set>
+
+namespace earthcc {
+
+/// Module-wide side-effect information (see file comment).
+class SideEffects {
+public:
+  SideEffects(const Module &M, const PointsToAnalysis &PT);
+
+  /// True if \p S may assign \p V directly (recursively over children).
+  bool varWritten(const Var *V, const Stmt &S) const;
+
+  /// True if \p S may access the words `pts(P)+Off` through an alias (a
+  /// different base variable or a call). \p Write selects write effects;
+  /// otherwise read effects.
+  bool accessedViaAlias(const Var *P, unsigned Off, const Stmt &S,
+                        bool Write) const;
+
+  /// True if \p S contains any return statement (write tuples cannot sink
+  /// across returns).
+  bool containsReturn(const Stmt &S) const;
+
+  /// True if \p S (recursively) performs a *direct* heap read through the
+  /// base variable \p P (any offset). Used by the RemoteFill elision check.
+  bool directlyReads(const Var *P, const Stmt &S) const;
+
+  /// True if \p S (recursively) performs a *direct* heap write through \p P
+  /// at offset \p Off. Used to invalidate value caches across compound
+  /// statements whose interior updates do not escape.
+  bool directlyWrites(const Var *P, unsigned Off, const Stmt &S) const;
+
+  /// Abstract words function \p F may read (write) — for tests.
+  const PointsToAnalysis::TargetSet &functionReads(const Function *F) const;
+  const PointsToAnalysis::TargetSet &functionWrites(const Function *F) const;
+
+private:
+  /// One direct heap access through a base variable.
+  struct HeapAccess {
+    const Var *Base;
+    unsigned Off;
+    bool IsWrite;
+  };
+
+  /// Aggregated effects of one statement subtree.
+  struct StmtEffects {
+    std::set<const Var *> VarWrites;
+    std::vector<HeapAccess> Heap;
+    PointsToAnalysis::TargetSet CallReadWords;
+    PointsToAnalysis::TargetSet CallWriteWords;
+    bool HasReturn = false;
+  };
+
+  void computeSummaries(const Module &M);
+  StmtEffects computeStmt(const Stmt &S);
+  const StmtEffects &effects(const Stmt &S) const;
+
+  const PointsToAnalysis &PT;
+  std::map<const Stmt *, StmtEffects> Cache;
+  std::map<const Function *, PointsToAnalysis::TargetSet> SummaryReads;
+  std::map<const Function *, PointsToAnalysis::TargetSet> SummaryWrites;
+  PointsToAnalysis::TargetSet Empty;
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_ANALYSIS_SIDEEFFECTS_H

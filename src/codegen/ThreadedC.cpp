@@ -1,0 +1,402 @@
+//===- ThreadedC.cpp ------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ThreadedC.h"
+
+#include "simple/Printer.h"
+
+#include <map>
+#include <sstream>
+
+using namespace earthcc;
+
+namespace {
+
+/// Emits one function, tracking outstanding split-phase operations and
+/// splitting fibers at synchronization points.
+class Emitter {
+public:
+  explicit Emitter(const Function &F) : F(F) {}
+
+  std::string run(ThreadedCInfo *Info) {
+    OS << "THREADED " << F.name() << "(";
+    for (size_t I = 0; I != F.params().size(); ++I) {
+      const Var *P = F.params()[I];
+      OS << (I ? ", " : "") << P->type()->str() << " " << P->name();
+    }
+    OS << ") {\n";
+    for (const auto &V : F.vars())
+      if (V->kind() != VarKind::Param)
+        OS << "  " << V->type()->str() << " " << V->name() << ";\n";
+    OS << "  SLOT SYNC_SLOTS[];\n";
+    OS << "\n  THREAD_0:\n";
+    emitSeq(F.body(), 2);
+    OS << "  END_THREADED();\n}\n";
+    if (Info) {
+      Info->Threads = ThreadCount + 1;
+      Info->SyncSlots = SlotCount;
+    }
+    return OS.str();
+  }
+
+private:
+  void indent(unsigned N) { OS << std::string(N, ' '); }
+
+  unsigned newSlot() { return SlotCount++; }
+
+  /// Starts a new fiber because \p SyncedVars' transactions must complete.
+  void splitThread(unsigned Ind, const std::vector<const Var *> &SyncedVars) {
+    ++ThreadCount;
+    indent(Ind);
+    OS << "END_THREAD(); // fiber boundary\n";
+    indent(Ind - 2 < 2 ? 2 : Ind - 2);
+    OS << "THREAD_" << ThreadCount << ": // resumes when";
+    for (const Var *V : SyncedVars)
+      OS << " SLOT(" << Pending[V] << ")->" << V->name();
+    OS << " arrive\n";
+    for (const Var *V : SyncedVars)
+      Pending.erase(V);
+  }
+
+  /// Collects the pending variables that \p S consumes.
+  std::vector<const Var *> pendingUses(const Stmt &S) {
+    std::vector<const Var *> Used;
+    auto use = [&](const Operand &O) {
+      if (O.isVar() && Pending.count(O.getVar()))
+        Used.push_back(O.getVar());
+    };
+    auto useVar = [&](const Var *V) {
+      if (V && Pending.count(V))
+        Used.push_back(V);
+    };
+    switch (S.kind()) {
+    case StmtKind::Assign: {
+      const auto &A = castStmt<AssignStmt>(S);
+      switch (A.R->kind()) {
+      case RValueKind::Opnd:
+        use(static_cast<const OpndRV &>(*A.R).Val);
+        break;
+      case RValueKind::Unary:
+        use(static_cast<const UnaryRV &>(*A.R).Val);
+        break;
+      case RValueKind::Binary: {
+        const auto &B = static_cast<const BinaryRV &>(*A.R);
+        use(B.A);
+        use(B.B);
+        break;
+      }
+      case RValueKind::Load:
+        useVar(static_cast<const LoadRV &>(*A.R).Base);
+        break;
+      case RValueKind::FieldRead:
+        useVar(static_cast<const FieldReadRV &>(*A.R).StructVar);
+        break;
+      case RValueKind::AddrOfField:
+        useVar(static_cast<const AddrOfFieldRV &>(*A.R).Base);
+        break;
+      }
+      if (A.L.Kind == LValueKind::Store)
+        useVar(A.L.V);
+      if (A.L.Kind == LValueKind::FieldWrite)
+        useVar(A.L.V);
+      return Used;
+    }
+    case StmtKind::Call: {
+      const auto &C = castStmt<CallStmt>(S);
+      for (const Operand &O : C.Args)
+        use(O);
+      use(C.PlacementArg);
+      return Used;
+    }
+    case StmtKind::Return: {
+      const auto &R = castStmt<ReturnStmt>(S);
+      if (R.Val)
+        use(*R.Val);
+      return Used;
+    }
+    case StmtKind::BlkMov: {
+      const auto &B = castStmt<BlkMovStmt>(S);
+      useVar(B.Ptr);
+      if (B.Dir == BlkMovDir::WriteFromLocal)
+        useVar(B.LocalStruct);
+      return Used;
+    }
+    case StmtKind::Atomic: {
+      const auto &A = castStmt<AtomicStmt>(S);
+      use(A.Val);
+      return Used;
+    }
+    case StmtKind::If:
+      collectCondUses(*castStmt<IfStmt>(S).Cond, Used);
+      return Used;
+    case StmtKind::While:
+      collectCondUses(*castStmt<WhileStmt>(S).Cond, Used);
+      return Used;
+    case StmtKind::Switch:
+      use(castStmt<SwitchStmt>(S).Val);
+      return Used;
+    case StmtKind::Forall:
+      collectCondUses(*castStmt<ForallStmt>(S).Cond, Used);
+      return Used;
+    case StmtKind::Seq:
+      return Used;
+    }
+    return Used;
+  }
+
+  void collectCondUses(const RValue &R, std::vector<const Var *> &Used) {
+    auto use = [&](const Operand &O) {
+      if (O.isVar() && Pending.count(O.getVar()))
+        Used.push_back(O.getVar());
+    };
+    switch (R.kind()) {
+    case RValueKind::Opnd:
+      use(static_cast<const OpndRV &>(R).Val);
+      return;
+    case RValueKind::Unary:
+      use(static_cast<const UnaryRV &>(R).Val);
+      return;
+    case RValueKind::Binary: {
+      const auto &B = static_cast<const BinaryRV &>(R);
+      use(B.A);
+      use(B.B);
+      return;
+    }
+    default:
+      return;
+    }
+  }
+
+  void emitSeq(const SeqStmt &Seq, unsigned Ind) {
+    if (Seq.Parallel) {
+      indent(Ind);
+      OS << "// parallel sequence: " << Seq.size()
+         << " tokens + join slot\n";
+      unsigned Join = newSlot();
+      for (const auto &Branch : Seq.Stmts) {
+        indent(Ind);
+        OS << "TOKEN(branch, SLOT(" << Join << ")) {\n";
+        emitSeq(castStmt<SeqStmt>(*Branch), Ind + 2);
+        indent(Ind);
+        OS << "}\n";
+      }
+      indent(Ind);
+      OS << "SYNC_JOIN(SLOT(" << Join << "), " << Seq.size() << ");\n";
+      splitThread(Ind, {});
+      return;
+    }
+    for (const auto &Child : Seq.Stmts)
+      emitStmt(*Child, Ind);
+  }
+
+  void emitStmt(const Stmt &S, unsigned Ind) {
+    // Fiber boundary: this statement consumes outstanding split-phase
+    // results, so it belongs to a new thread triggered by their slots.
+    std::vector<const Var *> Synced = pendingUses(S);
+    if (!Synced.empty())
+      splitThread(Ind, Synced);
+
+    switch (S.kind()) {
+    case StmtKind::Assign: {
+      const auto &A = castStmt<AssignStmt>(S);
+      if (A.isRemoteRead()) {
+        const auto &L = static_cast<const LoadRV &>(*A.R);
+        unsigned Slot = newSlot();
+        indent(Ind);
+        OS << "GET_SYNC_L(" << L.Base->name() << " + " << L.OffsetWords
+           << ", &" << A.L.V->name() << ", SLOT(" << Slot << ")); // "
+           << L.Base->name() << "->"
+           << (L.FieldName.empty() ? "*" : L.FieldName) << "\n";
+        Pending[A.L.V] = Slot;
+        return;
+      }
+      if (A.isRemoteWrite()) {
+        indent(Ind);
+        OS << "DATA_SYNC_L(" << printRValue(*A.R) << ", " << A.L.V->name()
+           << " + " << A.L.OffsetWords << ", WSYNC); // " << A.L.V->name()
+           << "->" << A.L.FieldName << "\n";
+        return;
+      }
+      indent(Ind);
+      OS << printLValue(A.L) << " = " << printRValue(*A.R) << ";\n";
+      return;
+    }
+    case StmtKind::BlkMov: {
+      const auto &B = castStmt<BlkMovStmt>(S);
+      unsigned Slot = newSlot();
+      indent(Ind);
+      if (B.Dir == BlkMovDir::ReadToLocal) {
+        OS << "BLKMOV_SYNC(" << B.Ptr->name() << ", &"
+           << B.LocalStruct->name() << ", " << B.Words * 8 << ", SLOT("
+           << Slot << "));\n";
+        Pending[B.LocalStruct] = Slot;
+      } else {
+        OS << "BLKMOV_SYNC(&" << B.LocalStruct->name() << ", "
+           << B.Ptr->name() << ", " << B.Words * 8 << ", WSYNC);\n";
+      }
+      return;
+    }
+    case StmtKind::Call: {
+      const auto &C = castStmt<CallStmt>(S);
+      indent(Ind);
+      if (C.Placement != CallPlacement::Default) {
+        unsigned Slot = newSlot();
+        OS << "INVOKE(";
+        switch (C.Placement) {
+        case CallPlacement::OwnerOf:
+          OS << "OWNER_OF(" << C.PlacementArg.str() << ")";
+          break;
+        case CallPlacement::AtNode:
+          OS << "NODE(" << C.PlacementArg.str() << ")";
+          break;
+        default:
+          OS << "HOME";
+          break;
+        }
+        OS << ", " << C.CalleeName << "(";
+        for (size_t I = 0; I != C.Args.size(); ++I)
+          OS << (I ? ", " : "") << C.Args[I].str();
+        OS << ")";
+        if (C.Result) {
+          OS << ", &" << C.Result->name() << ", SLOT(" << Slot << ")";
+          Pending[C.Result] = Slot;
+        }
+        OS << ");\n";
+        return;
+      }
+      if (C.Result)
+        OS << C.Result->name() << " = ";
+      OS << C.CalleeName << "(";
+      for (size_t I = 0; I != C.Args.size(); ++I)
+        OS << (I ? ", " : "") << C.Args[I].str();
+      OS << ");\n";
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &R = castStmt<ReturnStmt>(S);
+      indent(Ind);
+      OS << "RETURN(";
+      if (R.Val)
+        OS << R.Val->str();
+      OS << "); // settles WSYNC before signalling the caller\n";
+      return;
+    }
+    case StmtKind::Atomic: {
+      const auto &A = castStmt<AtomicStmt>(S);
+      indent(Ind);
+      switch (A.Op) {
+      case AtomicOp::WriteTo:
+        OS << "WRITETO_SYNC(&" << A.SharedVar->name() << ", " << A.Val.str()
+           << ", WSYNC);\n";
+        return;
+      case AtomicOp::AddTo:
+        OS << "ADDTO_SYNC(&" << A.SharedVar->name() << ", " << A.Val.str()
+           << ", WSYNC);\n";
+        return;
+      case AtomicOp::ValueOf: {
+        unsigned Slot = newSlot();
+        OS << "VALUEOF_SYNC(&" << A.SharedVar->name() << ", &"
+           << A.Result->name() << ", SLOT(" << Slot << "));\n";
+        Pending[A.Result] = Slot;
+        return;
+      }
+      }
+      return;
+    }
+    case StmtKind::If: {
+      const auto &If = castStmt<IfStmt>(S);
+      indent(Ind);
+      OS << "if (" << printRValue(*If.Cond) << ") {\n";
+      emitSeq(*If.Then, Ind + 2);
+      if (!If.Else->empty()) {
+        indent(Ind);
+        OS << "} else {\n";
+        emitSeq(*If.Else, Ind + 2);
+      }
+      indent(Ind);
+      OS << "}\n";
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto &Sw = castStmt<SwitchStmt>(S);
+      indent(Ind);
+      OS << "switch (" << Sw.Val.str() << ") {\n";
+      for (const auto &C : Sw.Cases) {
+        indent(Ind);
+        OS << "case " << C.Value << ":\n";
+        emitSeq(*C.Body, Ind + 2);
+        indent(Ind + 2);
+        OS << "break;\n";
+      }
+      indent(Ind);
+      OS << "default:\n";
+      emitSeq(*Sw.Default, Ind + 2);
+      indent(Ind);
+      OS << "}\n";
+      return;
+    }
+    case StmtKind::While: {
+      const auto &W = castStmt<WhileStmt>(S);
+      indent(Ind);
+      if (W.IsDoWhile) {
+        OS << "do {\n";
+        emitSeq(*W.Body, Ind + 2);
+        indent(Ind);
+        OS << "} while (" << printRValue(*W.Cond) << ");\n";
+      } else {
+        OS << "while (" << printRValue(*W.Cond) << ") {\n";
+        emitSeq(*W.Body, Ind + 2);
+        indent(Ind);
+        OS << "}\n";
+      }
+      return;
+    }
+    case StmtKind::Forall: {
+      const auto &Fa = castStmt<ForallStmt>(S);
+      unsigned Join = newSlot();
+      indent(Ind);
+      OS << "// forall driver: spawns one token per iteration\n";
+      emitSeq(*Fa.Init, Ind);
+      indent(Ind);
+      OS << "while (" << printRValue(*Fa.Cond) << ") {\n";
+      indent(Ind + 2);
+      OS << "TOKEN(iteration, SLOT(" << Join << ")) {\n";
+      emitSeq(*Fa.Body, Ind + 4);
+      indent(Ind + 2);
+      OS << "}\n";
+      emitSeq(*Fa.Step, Ind + 2);
+      indent(Ind);
+      OS << "}\n";
+      indent(Ind);
+      OS << "SYNC_JOIN(SLOT(" << Join << "), ALL_ITERATIONS);\n";
+      splitThread(Ind, {});
+      return;
+    }
+    case StmtKind::Seq:
+      emitSeq(castStmt<SeqStmt>(S), Ind);
+      return;
+    }
+  }
+
+  const Function &F;
+  std::ostringstream OS;
+  std::map<const Var *, unsigned> Pending;
+  unsigned SlotCount = 0;
+  unsigned ThreadCount = 0;
+};
+
+} // namespace
+
+std::string earthcc::emitThreadedC(const Function &F, ThreadedCInfo *Info) {
+  return Emitter(F).run(Info);
+}
+
+std::string earthcc::emitThreadedC(const Module &M) {
+  std::string Out;
+  for (const auto &F : M.functions())
+    Out += emitThreadedC(*F) + "\n";
+  return Out;
+}

@@ -1,0 +1,62 @@
+//===- Driver.cpp ---------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+
+#include "analysis/Locality.h"
+#include "frontend/Simplify.h"
+#include "simple/Verifier.h"
+
+using namespace earthcc;
+
+CompileResult earthcc::compileEarthC(const std::string &Source,
+                                     const CompileOptions &Opts) {
+  CompileResult R;
+  DiagnosticsEngine Diags;
+  R.M = compileToSimple(Source, Diags);
+  if (Diags.hasErrors()) {
+    R.Messages = Diags.str();
+    return R;
+  }
+
+  std::vector<std::string> Errors;
+  if (!verifyModule(*R.M, Errors)) {
+    R.Messages = "internal error: Simplify produced invalid SIMPLE:\n";
+    for (const std::string &E : Errors)
+      R.Messages += "  " + E + "\n";
+    return R;
+  }
+
+  if (Opts.InferLocality)
+    inferLocality(*R.M, R.Stats);
+
+  if (Opts.Optimize) {
+    if (!optimizeModuleCommunication(*R.M, Opts.Comm, R.Stats, Errors)) {
+      R.Messages =
+          "internal error: communication selection broke the module:\n";
+      for (const std::string &E : Errors)
+        R.Messages += "  " + E + "\n";
+      return R;
+    }
+  }
+
+  R.OK = true;
+  return R;
+}
+
+RunResult earthcc::compileAndRun(const std::string &Source,
+                                 const MachineConfig &MC,
+                                 const CompileOptions &Opts,
+                                 const std::string &Entry,
+                                 const std::vector<RtValue> &Args) {
+  CompileResult CR = compileEarthC(Source, Opts);
+  if (!CR.OK) {
+    RunResult R;
+    R.Error = CR.Messages;
+    return R;
+  }
+  return runProgram(*CR.M, MC, Entry, Args);
+}

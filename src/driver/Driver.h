@@ -1,0 +1,62 @@
+//===- Driver.h - End-to-end EARTH-C compilation ----------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compiler driver: EARTH-C source -> lex/parse -> Simplify (SIMPLE
+/// three-address form) -> [communication optimization] -> verified Module,
+/// plus a convenience wrapper that also executes the result on the
+/// simulated EARTH-MANNA machine. The two standard configurations mirror
+/// the paper's "simple" (unoptimized) and "optimized" program versions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_DRIVER_DRIVER_H
+#define EARTHCC_DRIVER_DRIVER_H
+
+#include "interp/Interp.h"
+#include "simple/Function.h"
+#include "support/Statistics.h"
+#include "transform/CommSelection.h"
+
+#include <memory>
+#include <string>
+
+namespace earthcc {
+
+/// Pipeline configuration.
+struct CompileOptions {
+  bool Optimize = true; ///< Run the communication optimization (Phase II).
+  /// Run locality inference first (downgrades pseudo-remote accesses whose
+  /// functions are always invoked at the data's owner). Off by default to
+  /// match the paper's "simple vs optimized" experiment, where locality
+  /// handling is orthogonal prior work.
+  bool InferLocality = false;
+  CommOptions Comm;     ///< Policy for the optimization when enabled.
+};
+
+/// Outcome of a compilation.
+struct CompileResult {
+  bool OK = false;
+  std::unique_ptr<Module> M;
+  Statistics Stats;     ///< Pass counters (select.* keys).
+  std::string Messages; ///< Diagnostics / verifier errors when !OK.
+};
+
+/// Compiles EARTH-C source text into a verified SIMPLE module.
+CompileResult compileEarthC(const std::string &Source,
+                            const CompileOptions &Opts = {});
+
+/// Compiles and runs in one step. On compile failure the RunResult carries
+/// the diagnostics in its Error field.
+RunResult compileAndRun(const std::string &Source, const MachineConfig &MC,
+                        const CompileOptions &Opts = {},
+                        const std::string &Entry = "main",
+                        const std::vector<RtValue> &Args = {});
+
+} // namespace earthcc
+
+#endif // EARTHCC_DRIVER_DRIVER_H

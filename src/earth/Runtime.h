@@ -1,0 +1,184 @@
+//===- Runtime.h - Simulated EARTH machine state ----------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The functional state of the simulated EARTH-MANNA machine: a global
+/// address space over per-node local memories, runtime values, dynamic
+/// operation counters, and machine configuration. Timing (EU/SU clocks,
+/// the event queue) lives in the interpreter; this file is pure state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_EARTH_RUNTIME_H
+#define EARTHCC_EARTH_RUNTIME_H
+
+#include "earth/CostModel.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace earthcc {
+
+/// A word address in the global address space: (node, word offset).
+struct GlobalAddr {
+  int32_t Node = -1;
+  uint32_t Offset = 0;
+
+  bool isNull() const { return Node < 0; }
+  friend bool operator==(GlobalAddr A, GlobalAddr B) {
+    return A.Node == B.Node && A.Offset == B.Offset;
+  }
+  std::string str() const {
+    if (isNull())
+      return "null";
+    return "n" + std::to_string(Node) + ":" + std::to_string(Offset);
+  }
+};
+
+/// A dynamically-typed runtime value (one machine word).
+struct RtValue {
+  enum class Kind { Undef, Int, Dbl, Ptr } K = Kind::Undef;
+  int64_t I = 0;
+  double D = 0.0;
+  GlobalAddr P;
+
+  static RtValue undef() { return RtValue(); }
+  static RtValue makeInt(int64_t V) {
+    RtValue R;
+    R.K = Kind::Int;
+    R.I = V;
+    return R;
+  }
+  static RtValue makeDbl(double V) {
+    RtValue R;
+    R.K = Kind::Dbl;
+    R.D = V;
+    return R;
+  }
+  static RtValue makePtr(GlobalAddr A) {
+    RtValue R;
+    R.K = Kind::Ptr;
+    R.P = A;
+    return R;
+  }
+
+  bool isUndef() const { return K == Kind::Undef; }
+
+  /// Truthiness for conditions: nonzero / non-null.
+  bool truthy() const {
+    switch (K) {
+    case Kind::Undef:
+      return false;
+    case Kind::Int:
+      return I != 0;
+    case Kind::Dbl:
+      return D != 0.0;
+    case Kind::Ptr:
+      return !P.isNull();
+    }
+    return false;
+  }
+
+  std::string str() const {
+    switch (K) {
+    case Kind::Undef:
+      return "<undef>";
+    case Kind::Int:
+      return std::to_string(I);
+    case Kind::Dbl: {
+      std::string S = std::to_string(D);
+      return S;
+    }
+    case Kind::Ptr:
+      return P.str();
+    }
+    return "<bad>";
+  }
+};
+
+/// Dynamic counts of EARTH runtime operations, as the paper's Figure 10
+/// reports them: read-data, write-data and blkmov operations.
+struct OpCounters {
+  uint64_t ReadData = 0;
+  uint64_t WriteData = 0;
+  uint64_t BlkMov = 0;
+  uint64_t Atomic = 0;
+  uint64_t WordsMoved = 0;   ///< Total words crossing the network.
+  uint64_t LocalFallbacks = 0; ///< Remote primitives that hit local memory.
+  uint64_t Spawns = 0;
+  uint64_t CtxSwitches = 0;
+
+  uint64_t total() const { return ReadData + WriteData + BlkMov; }
+};
+
+/// Machine configuration.
+struct MachineConfig {
+  unsigned NumNodes = 1;
+  CostModel Costs;
+  /// Sequential mode: every access is a plain local access (no EARTH
+  /// primitives at all) — the paper's "Sequential C" baseline.
+  bool SequentialMode = false;
+  /// Permit split-phase reads of the null address (returning zero) so that
+  /// speculatively hoisted reads do not fault.
+  bool AllowNullReads = false;
+  uint64_t MaxSteps = 500'000'000; ///< Interpreter fuel.
+  /// EU scheduling quantum in interpreter steps. EARTH threads are fine
+  /// grained (split at every remote operation), so a coarse fiber must not
+  /// monopolize its node's EU; after this many steps a fiber re-enters the
+  /// ready queue behind same-time peers. 0 disables preemption.
+  unsigned EUQuantum = 64;
+};
+
+/// Per-node memory plus allocation; the aggregate is the global address
+/// space.
+class EarthMemory {
+public:
+  explicit EarthMemory(unsigned NumNodes) : Heaps(NumNodes) {
+    // Offset 0 is reserved so that a valid address is never (n, 0) — it
+    // keeps "null" distinguishable in diagnostics.
+    for (auto &H : Heaps)
+      H.resize(1);
+  }
+
+  unsigned numNodes() const { return static_cast<unsigned>(Heaps.size()); }
+
+  GlobalAddr allocate(unsigned Node, unsigned Words) {
+    assert(Node < Heaps.size() && "allocation on nonexistent node");
+    assert(Words > 0 && "zero-sized allocation");
+    GlobalAddr A;
+    A.Node = static_cast<int32_t>(Node);
+    A.Offset = static_cast<uint32_t>(Heaps[Node].size());
+    Heaps[Node].resize(Heaps[Node].size() + Words);
+    return A;
+  }
+
+  bool valid(GlobalAddr A, unsigned Words = 1) const {
+    return !A.isNull() && static_cast<size_t>(A.Node) < Heaps.size() &&
+           A.Offset + Words <= Heaps[A.Node].size();
+  }
+
+  RtValue &word(GlobalAddr A) {
+    assert(valid(A) && "bad address");
+    return Heaps[A.Node][A.Offset];
+  }
+  const RtValue &word(GlobalAddr A) const {
+    assert(valid(A) && "bad address");
+    return Heaps[A.Node][A.Offset];
+  }
+
+  /// Total words allocated on \p Node (for distribution diagnostics).
+  size_t allocatedWords(unsigned Node) const { return Heaps[Node].size(); }
+
+private:
+  std::vector<std::vector<RtValue>> Heaps;
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_EARTH_RUNTIME_H

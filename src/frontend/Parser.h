@@ -1,0 +1,88 @@
+//===- Parser.h - Recursive-descent parser for EARTH-C ----------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_FRONTEND_PARSER_H
+#define EARTHCC_FRONTEND_PARSER_H
+
+#include "frontend/AST.h"
+#include "frontend/Token.h"
+#include "support/Diagnostics.h"
+
+#include <set>
+#include <vector>
+
+namespace earthcc {
+
+/// Parses a token stream into an ast::TranslationUnit.
+///
+/// The parser tracks declared struct tags so that a bare identifier can be
+/// used as a type name once its struct is declared (a lightweight stand-in
+/// for C typedefs, matching how the Olden sources read).
+class Parser {
+public:
+  Parser(std::vector<Token> Tokens, DiagnosticsEngine &Diags);
+
+  /// Parses the whole unit. On errors, diagnostics are recorded and a
+  /// best-effort AST is returned; callers must check Diags.hasErrors().
+  ast::TranslationUnit parseUnit();
+
+private:
+  // Token stream helpers.
+  const Token &cur() const { return Tokens[Pos]; }
+  const Token &peek(unsigned Ahead = 1) const {
+    size_t I = Pos + Ahead;
+    return I < Tokens.size() ? Tokens[I] : Tokens.back();
+  }
+  Token consume() { return Tokens[Pos < Tokens.size() - 1 ? Pos++ : Pos]; }
+  bool check(TokKind K) const { return cur().is(K); }
+  bool accept(TokKind K);
+  bool expect(TokKind K, const char *Context);
+  void syncToStmtBoundary();
+
+  // Type parsing.
+  bool startsTypeSpec() const;
+  ast::TypeSpec parseTypeSpec();
+
+  // Declarations.
+  void parseTopLevel(ast::TranslationUnit &Unit);
+  ast::StructDecl parseStructDecl();
+  void parseFunctionOrGlobal(ast::TranslationUnit &Unit);
+
+  // Statements.
+  ast::StmtPtr parseStmt();
+  ast::StmtPtr parseBlock(bool Parallel);
+  ast::StmtPtr parseIf();
+  ast::StmtPtr parseWhile();
+  ast::StmtPtr parseDoWhile();
+  ast::StmtPtr parseForOrForall(bool Parallel);
+  ast::StmtPtr parseSwitch();
+  ast::StmtPtr parseReturn();
+  ast::StmtPtr parseDeclStmt();
+  ast::StmtPtr parseExprOrAssign();
+  ast::StmtPtr parseSimpleStmtNoSemi(); ///< For for-loop init/step clauses.
+
+  // Expressions.
+  ast::ExprPtr parseExpr();
+  ast::ExprPtr parseLOr();
+  ast::ExprPtr parseLAnd();
+  ast::ExprPtr parseEquality();
+  ast::ExprPtr parseRelational();
+  ast::ExprPtr parseAdditive();
+  ast::ExprPtr parseMultiplicative();
+  ast::ExprPtr parseUnary();
+  ast::ExprPtr parsePostfix();
+  ast::ExprPtr parsePrimary();
+
+  std::vector<Token> Tokens;
+  DiagnosticsEngine &Diags;
+  size_t Pos = 0;
+  std::set<std::string> StructNames;
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_FRONTEND_PARSER_H

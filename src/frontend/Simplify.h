@@ -1,0 +1,44 @@
+//===- Simplify.h - Lower EARTH-C ASTs to SIMPLE form -----------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The McCAT "Simplify" phase: semantic analysis plus lowering of the parsed
+/// EARTH-C program into the SIMPLE IR. The lowering guarantees the SIMPLE
+/// invariants the paper relies on:
+///   - three-address statements with at most one memory indirection each
+///     (so at most one remote read OR one remote write per basic statement);
+///   - structured control flow only;
+///   - fresh compiler temporaries named temp1, temp2, ... ;
+///   - every indirect access is marked Remote unless made through a pointer
+///     declared with the `local` qualifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_FRONTEND_SIMPLIFY_H
+#define EARTHCC_FRONTEND_SIMPLIFY_H
+
+#include "frontend/AST.h"
+#include "simple/Function.h"
+#include "support/Diagnostics.h"
+
+#include <memory>
+
+namespace earthcc {
+
+/// Lowers \p Unit into a fresh SIMPLE Module. Records problems in \p Diags;
+/// returns a (possibly incomplete) module — callers must check
+/// Diags.hasErrors() before using it.
+std::unique_ptr<Module> lowerToSimple(const ast::TranslationUnit &Unit,
+                                      DiagnosticsEngine &Diags);
+
+/// Convenience: lex + parse + lower in one step.
+std::unique_ptr<Module> compileToSimple(const std::string &Source,
+                                        DiagnosticsEngine &Diags);
+
+} // namespace earthcc
+
+#endif // EARTHCC_FRONTEND_SIMPLIFY_H

@@ -1,0 +1,99 @@
+//===- Token.h - Tokens of the EARTH-C dialect ------------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Token kinds for the EARTH-C frontend: a C subset plus the EARTH-C
+/// extensions (forall, parallel sequences `{^ ... ^}`, `shared` and `local`
+/// qualifiers, and `@` call-placement annotations).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_FRONTEND_TOKEN_H
+#define EARTHCC_FRONTEND_TOKEN_H
+
+#include "support/SourceLoc.h"
+
+#include <cstdint>
+#include <string>
+
+namespace earthcc {
+
+enum class TokKind {
+  Eof,
+  Identifier,
+  IntLiteral,
+  DoubleLiteral,
+
+  // Keywords.
+  KwInt,
+  KwDouble,
+  KwVoid,
+  KwStruct,
+  KwLocal,
+  KwShared,
+  KwIf,
+  KwElse,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwForall,
+  KwSwitch,
+  KwCase,
+  KwDefault,
+  KwBreak,
+  KwReturn,
+  KwSizeof,
+  KwNull,
+
+  // Punctuation.
+  LBrace,
+  RBrace,
+  LBraceCaret, ///< `{^` opening a parallel sequence.
+  CaretRBrace, ///< `^}` closing a parallel sequence.
+  LParen,
+  RParen,
+  Semi,
+  Comma,
+  Dot,
+  Arrow,
+  Star,
+  Amp,
+  Plus,
+  Minus,
+  Slash,
+  Percent,
+  Less,
+  LessEq,
+  Greater,
+  GreaterEq,
+  EqEq,
+  NotEq,
+  Eq,
+  AmpAmp,
+  PipePipe,
+  Bang,
+  At,
+  Colon
+};
+
+/// Returns a printable name for a token kind ("'->'", "identifier", ...).
+const char *tokKindName(TokKind Kind);
+
+/// One lexed token.
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  SourceLoc Loc;
+  std::string Text;    ///< Identifier spelling.
+  int64_t IntValue = 0;
+  double DoubleValue = 0.0;
+
+  bool is(TokKind K) const { return Kind == K; }
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_FRONTEND_TOKEN_H

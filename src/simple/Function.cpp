@@ -1,0 +1,95 @@
+//===- Function.cpp -------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simple/Function.h"
+
+using namespace earthcc;
+
+Var *Function::addParam(const std::string &ParamName, const Type *Ty) {
+  Vars.push_back(std::make_unique<Var>(ParamName, Ty, VarKind::Param,
+                                       NextVarId++));
+  Params.push_back(Vars.back().get());
+  return Vars.back().get();
+}
+
+Var *Function::addLocal(const std::string &LocalName, const Type *Ty,
+                        VarKind Kind) {
+  assert((Kind == VarKind::Local || Kind == VarKind::Shared) &&
+         "addLocal only makes Local or Shared variables");
+  Vars.push_back(std::make_unique<Var>(LocalName, Ty, Kind, NextVarId++));
+  return Vars.back().get();
+}
+
+Var *Function::addTemp(const Type *Ty, VarKind Kind) {
+  auto nextName = [this, Kind] {
+    switch (Kind) {
+    case VarKind::CommTemp:
+      return "comm" + std::to_string(NextCommNum++);
+    case VarKind::BlockTemp:
+      return "bcomm" + std::to_string(NextBlockNum++);
+    default:
+      assert(Kind == VarKind::Temp && "unexpected temp kind");
+      return "temp" + std::to_string(NextTempNum++);
+    }
+  };
+  // Skip numbers that collide with programmer-declared names (EARTH-C
+  // sources are free to declare their own comm1 / temp3).
+  std::string TempName = nextName();
+  while (findVar(TempName))
+    TempName = nextName();
+  Vars.push_back(std::make_unique<Var>(TempName, Ty, Kind, NextVarId++));
+  return Vars.back().get();
+}
+
+Var *Function::findVar(const std::string &VarName) const {
+  for (const auto &V : Vars)
+    if (V->name() == VarName)
+      return V.get();
+  return nullptr;
+}
+
+int Function::relabel() {
+  int Next = 1;
+  forEachStmt(*Body, [&Next](Stmt &S) { S.setLabel(Next++); });
+  return Next - 1;
+}
+
+Stmt *Function::findStmt(int L) {
+  Stmt *Found = nullptr;
+  forEachStmt(*Body, [&](Stmt &S) {
+    if (S.label() == L && !Found)
+      Found = &S;
+  });
+  return Found;
+}
+
+Function *Module::createFunction(const std::string &Name, const Type *RetTy) {
+  if (findFunction(Name))
+    return nullptr;
+  Funcs.push_back(std::make_unique<Function>(Name, RetTy));
+  return Funcs.back().get();
+}
+
+Function *Module::findFunction(const std::string &Name) const {
+  for (const auto &F : Funcs)
+    if (F->name() == Name)
+      return F.get();
+  return nullptr;
+}
+
+Var *Module::addGlobal(const std::string &Name, const Type *Ty, VarKind Kind) {
+  assert((Kind == VarKind::Global || Kind == VarKind::Shared) &&
+         "module variables must be global or shared");
+  Globals.push_back(std::make_unique<Var>(Name, Ty, Kind, NextGlobalId++));
+  return Globals.back().get();
+}
+
+Var *Module::findGlobal(const std::string &Name) const {
+  for (const auto &G : Globals)
+    if (G->name() == Name)
+      return G.get();
+  return nullptr;
+}

@@ -1,0 +1,122 @@
+//===- IRBuilder.cpp ------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simple/IRBuilder.h"
+
+using namespace earthcc;
+
+const StructType::Field *
+IRBuilder::resolveField(const Var *Base, const std::string &Field) const {
+  assert(Base->type()->isPointer() && "field access through non-pointer");
+  const Type *Pointee = Base->type()->pointee();
+  assert(Pointee->isStruct() && "field access into non-struct pointee");
+  const StructType::Field *F = Pointee->structType()->findField(Field);
+  assert(F && "no such field");
+  return F;
+}
+
+std::unique_ptr<RValue> IRBuilder::load(const Var *Base,
+                                        const std::string &Field) {
+  const StructType::Field *Fld = resolveField(Base, Field);
+  Locality Loc =
+      Base->type()->isLocalPointer() ? Locality::Local : Locality::Remote;
+  return std::make_unique<LoadRV>(Base, Fld->OffsetWords, Field, Fld->Ty,
+                                  Loc);
+}
+
+std::unique_ptr<RValue> IRBuilder::deref(const Var *Base) {
+  assert(Base->type()->isPointer() && "deref of non-pointer");
+  const Type *Pointee = Base->type()->pointee();
+  assert(Pointee->isScalar() && "deref of non-scalar pointee");
+  Locality Loc =
+      Base->type()->isLocalPointer() ? Locality::Local : Locality::Remote;
+  return std::make_unique<LoadRV>(Base, 0, "", Pointee, Loc);
+}
+
+std::unique_ptr<RValue> IRBuilder::fieldRead(const Var *StructVar,
+                                             const std::string &Field) {
+  assert(StructVar->type()->isStruct() && "field read of non-struct");
+  const StructType::Field *Fld =
+      StructVar->type()->structType()->findField(Field);
+  assert(Fld && "no such field");
+  return std::make_unique<FieldReadRV>(StructVar, Fld->OffsetWords, Field,
+                                       Fld->Ty);
+}
+
+AssignStmt *IRBuilder::assign(const Var *Target, std::unique_ptr<RValue> R) {
+  auto S = std::make_unique<AssignStmt>(LValue::makeVar(Target), std::move(R));
+  return static_cast<AssignStmt *>(insert(std::move(S)));
+}
+
+AssignStmt *IRBuilder::store(const Var *Base, const std::string &Field,
+                             Operand Val) {
+  const StructType::Field *Fld = resolveField(Base, Field);
+  Locality Loc =
+      Base->type()->isLocalPointer() ? Locality::Local : Locality::Remote;
+  auto S = std::make_unique<AssignStmt>(
+      LValue::makeStore(Base, Fld->OffsetWords, Field, Loc),
+      std::make_unique<OpndRV>(Val));
+  return static_cast<AssignStmt *>(insert(std::move(S)));
+}
+
+AssignStmt *IRBuilder::fieldWrite(const Var *StructVar,
+                                  const std::string &Field, Operand Val) {
+  assert(StructVar->type()->isStruct() && "field write of non-struct");
+  const StructType::Field *Fld =
+      StructVar->type()->structType()->findField(Field);
+  assert(Fld && "no such field");
+  auto S = std::make_unique<AssignStmt>(
+      LValue::makeFieldWrite(StructVar, Fld->OffsetWords, Field),
+      std::make_unique<OpndRV>(Val));
+  return static_cast<AssignStmt *>(insert(std::move(S)));
+}
+
+CallStmt *IRBuilder::call(const Var *Result, const std::string &Callee,
+                          std::vector<Operand> Args, CallPlacement Placement,
+                          Operand PlacementArg) {
+  auto S = std::make_unique<CallStmt>(Result, Callee, std::move(Args));
+  S->Placement = Placement;
+  S->PlacementArg = PlacementArg;
+  return static_cast<CallStmt *>(insert(std::move(S)));
+}
+
+ReturnStmt *IRBuilder::ret(std::optional<Operand> Val) {
+  return static_cast<ReturnStmt *>(
+      insert(std::make_unique<ReturnStmt>(Val)));
+}
+
+IfStmt *IRBuilder::beginIf(std::unique_ptr<RValue> Cond) {
+  auto S = std::make_unique<IfStmt>(std::move(Cond),
+                                    std::make_unique<SeqStmt>(),
+                                    std::make_unique<SeqStmt>());
+  auto *If = static_cast<IfStmt *>(insert(std::move(S)));
+  SeqStack.push_back(If->Then.get());
+  return If;
+}
+
+void IRBuilder::elsePart(IfStmt *If) {
+  assert(SeqStack.back() == If->Then.get() && "mismatched elsePart");
+  SeqStack.back() = If->Else.get();
+}
+
+void IRBuilder::endIf() {
+  assert(SeqStack.size() > 1 && "endIf without beginIf");
+  SeqStack.pop_back();
+}
+
+WhileStmt *IRBuilder::beginWhile(std::unique_ptr<RValue> Cond,
+                                 bool IsDoWhile) {
+  auto S = std::make_unique<WhileStmt>(std::move(Cond),
+                                       std::make_unique<SeqStmt>(), IsDoWhile);
+  auto *While = static_cast<WhileStmt *>(insert(std::move(S)));
+  SeqStack.push_back(While->Body.get());
+  return While;
+}
+
+void IRBuilder::endWhile() {
+  assert(SeqStack.size() > 1 && "endWhile without beginWhile");
+  SeqStack.pop_back();
+}

@@ -1,0 +1,295 @@
+//===- Printer.cpp --------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simple/Printer.h"
+
+#include <sstream>
+
+using namespace earthcc;
+
+static std::string remoteMark(Locality Loc, const PrintOptions &Opts) {
+  if (!Opts.MarkRemote)
+    return "";
+  return Loc == Locality::Local ? "" : "{r}";
+}
+
+std::string earthcc::printRValue(const RValue &R, const PrintOptions &Opts) {
+  switch (R.kind()) {
+  case RValueKind::Opnd:
+    return static_cast<const OpndRV &>(R).Val.str();
+  case RValueKind::Unary: {
+    const auto &U = static_cast<const UnaryRV &>(R);
+    return std::string(unaryOpName(U.Op)) + U.Val.str();
+  }
+  case RValueKind::Binary: {
+    const auto &B = static_cast<const BinaryRV &>(R);
+    return B.A.str() + " " + binaryOpName(B.Op) + " " + B.B.str();
+  }
+  case RValueKind::Load: {
+    const auto &L = static_cast<const LoadRV &>(R);
+    std::string Acc = L.FieldName.empty()
+                          ? "*" + L.Base->name()
+                          : L.Base->name() + "->" + L.FieldName;
+    return Acc + remoteMark(L.Loc, Opts);
+  }
+  case RValueKind::FieldRead: {
+    const auto &F = static_cast<const FieldReadRV &>(R);
+    return F.StructVar->name() + "." + F.FieldName;
+  }
+  case RValueKind::AddrOfField: {
+    const auto &A = static_cast<const AddrOfFieldRV &>(R);
+    return "&(" + A.Base->name() + "->" + A.FieldName + ")";
+  }
+  }
+  return "<bad rvalue>";
+}
+
+std::string earthcc::printLValue(const LValue &L, const PrintOptions &Opts) {
+  switch (L.Kind) {
+  case LValueKind::Var:
+    return L.V->name();
+  case LValueKind::Store: {
+    std::string Acc = L.FieldName.empty() ? "*" + L.V->name()
+                                          : L.V->name() + "->" + L.FieldName;
+    return Acc + remoteMark(L.Loc, Opts);
+  }
+  case LValueKind::FieldWrite:
+    return L.V->name() + "." + L.FieldName;
+  }
+  return "<bad lvalue>";
+}
+
+namespace {
+
+/// Stateful printer walking the statement tree.
+class StmtPrinter {
+public:
+  StmtPrinter(const PrintOptions &Opts) : Opts(Opts) {}
+
+  std::string run(const Stmt &S, unsigned Indent) {
+    print(S, Indent);
+    return OS.str();
+  }
+
+private:
+  void indent(unsigned Indent) {
+    OS << std::string(Indent * Opts.IndentWidth, ' ');
+  }
+
+  void label(const Stmt &S) {
+    if (Opts.ShowLabels && S.label() != 0)
+      OS << "S" << S.label() << ": ";
+  }
+
+  void printSeqBody(const SeqStmt &Seq, unsigned Indent) {
+    for (const auto &Child : Seq.Stmts)
+      print(*Child, Indent);
+  }
+
+  void print(const Stmt &S, unsigned Indent) {
+    switch (S.kind()) {
+    case StmtKind::Seq: {
+      const auto &Seq = castStmt<SeqStmt>(S);
+      if (Seq.Parallel) {
+        indent(Indent);
+        OS << "{^\n";
+        printSeqBody(Seq, Indent + 1);
+        indent(Indent);
+        OS << "^}\n";
+      } else {
+        printSeqBody(Seq, Indent);
+      }
+      return;
+    }
+    case StmtKind::Assign: {
+      const auto &A = castStmt<AssignStmt>(S);
+      indent(Indent);
+      label(S);
+      OS << printLValue(A.L, Opts) << " = " << printRValue(*A.R, Opts)
+         << ";\n";
+      return;
+    }
+    case StmtKind::Call: {
+      const auto &C = castStmt<CallStmt>(S);
+      indent(Indent);
+      label(S);
+      if (C.Result)
+        OS << C.Result->name() << " = ";
+      OS << C.CalleeName << "(";
+      for (size_t I = 0; I != C.Args.size(); ++I)
+        OS << (I ? ", " : "") << C.Args[I].str();
+      OS << ")";
+      switch (C.Placement) {
+      case CallPlacement::Default:
+        break;
+      case CallPlacement::OwnerOf:
+        OS << "@OWNER_OF(" << C.PlacementArg.str() << ")";
+        break;
+      case CallPlacement::AtNode:
+        OS << "@node(" << C.PlacementArg.str() << ")";
+        break;
+      case CallPlacement::Home:
+        OS << "@HOME";
+        break;
+      }
+      OS << ";\n";
+      return;
+    }
+    case StmtKind::Return: {
+      const auto &R = castStmt<ReturnStmt>(S);
+      indent(Indent);
+      label(S);
+      OS << "return";
+      if (R.Val)
+        OS << " " << R.Val->str();
+      OS << ";\n";
+      return;
+    }
+    case StmtKind::BlkMov: {
+      const auto &B = castStmt<BlkMovStmt>(S);
+      indent(Indent);
+      label(S);
+      if (B.Dir == BlkMovDir::ReadToLocal)
+        OS << "blkmov(" << B.Ptr->name() << ", &" << B.LocalStruct->name();
+      else
+        OS << "blkmov(&" << B.LocalStruct->name() << ", " << B.Ptr->name();
+      OS << ", " << B.Words << "w);\n";
+      return;
+    }
+    case StmtKind::Atomic: {
+      const auto &A = castStmt<AtomicStmt>(S);
+      indent(Indent);
+      label(S);
+      switch (A.Op) {
+      case AtomicOp::WriteTo:
+        OS << "writeto(&" << A.SharedVar->name() << ", " << A.Val.str()
+           << ");\n";
+        return;
+      case AtomicOp::AddTo:
+        OS << "addto(&" << A.SharedVar->name() << ", " << A.Val.str()
+           << ");\n";
+        return;
+      case AtomicOp::ValueOf:
+        OS << A.Result->name() << " = valueof(&" << A.SharedVar->name()
+           << ");\n";
+        return;
+      }
+      return;
+    }
+    case StmtKind::If: {
+      const auto &If = castStmt<IfStmt>(S);
+      indent(Indent);
+      label(S);
+      OS << "if (" << printRValue(*If.Cond, Opts) << ") {\n";
+      printSeqBody(*If.Then, Indent + 1);
+      if (!If.Else->empty()) {
+        indent(Indent);
+        OS << "} else {\n";
+        printSeqBody(*If.Else, Indent + 1);
+      }
+      indent(Indent);
+      OS << "}\n";
+      return;
+    }
+    case StmtKind::Switch: {
+      const auto &Sw = castStmt<SwitchStmt>(S);
+      indent(Indent);
+      label(S);
+      OS << "switch (" << Sw.Val.str() << ") {\n";
+      for (const auto &C : Sw.Cases) {
+        indent(Indent);
+        OS << "case " << C.Value << ":\n";
+        printSeqBody(*C.Body, Indent + 1);
+      }
+      if (!Sw.Default->empty()) {
+        indent(Indent);
+        OS << "default:\n";
+        printSeqBody(*Sw.Default, Indent + 1);
+      }
+      indent(Indent);
+      OS << "}\n";
+      return;
+    }
+    case StmtKind::While: {
+      const auto &W = castStmt<WhileStmt>(S);
+      indent(Indent);
+      label(S);
+      if (W.IsDoWhile) {
+        OS << "do {\n";
+        printSeqBody(*W.Body, Indent + 1);
+        indent(Indent);
+        OS << "} while (" << printRValue(*W.Cond, Opts) << ");\n";
+      } else {
+        OS << "while (" << printRValue(*W.Cond, Opts) << ") {\n";
+        printSeqBody(*W.Body, Indent + 1);
+        indent(Indent);
+        OS << "}\n";
+      }
+      return;
+    }
+    case StmtKind::Forall: {
+      const auto &Fa = castStmt<ForallStmt>(S);
+      indent(Indent);
+      label(S);
+      OS << "forall (...; " << printRValue(*Fa.Cond, Opts) << "; ...) {\n";
+      indent(Indent + 1);
+      OS << "// init:\n";
+      printSeqBody(*Fa.Init, Indent + 1);
+      indent(Indent + 1);
+      OS << "// step:\n";
+      printSeqBody(*Fa.Step, Indent + 1);
+      indent(Indent + 1);
+      OS << "// body:\n";
+      printSeqBody(*Fa.Body, Indent + 1);
+      indent(Indent);
+      OS << "}\n";
+      return;
+    }
+    }
+  }
+
+  const PrintOptions &Opts;
+  std::ostringstream OS;
+};
+
+} // namespace
+
+std::string earthcc::printStmt(const Stmt &S, const PrintOptions &Opts,
+                               unsigned Indent) {
+  return StmtPrinter(Opts).run(S, Indent);
+}
+
+std::string earthcc::printFunction(const Function &F,
+                                   const PrintOptions &Opts) {
+  std::ostringstream OS;
+  OS << F.returnType()->str() << " " << F.name() << "(";
+  for (size_t I = 0; I != F.params().size(); ++I) {
+    const Var *P = F.params()[I];
+    OS << (I ? ", " : "") << P->type()->str() << " " << P->name();
+  }
+  OS << ") {\n";
+  for (const auto &V : F.vars()) {
+    if (V->kind() == VarKind::Param)
+      continue;
+    OS << "  " << V->type()->str() << " " << V->name() << ";";
+    if (V->kind() == VarKind::Shared)
+      OS << " // shared";
+    OS << "\n";
+  }
+  OS << printStmt(F.body(), Opts, /*Indent=*/1);
+  OS << "}\n";
+  return OS.str();
+}
+
+std::string earthcc::printModule(const Module &M, const PrintOptions &Opts) {
+  std::ostringstream OS;
+  for (const auto &G : M.globals())
+    OS << (G->kind() == VarKind::Shared ? "shared " : "") << G->type()->str()
+       << " " << G->name() << ";\n";
+  for (const auto &F : M.functions())
+    OS << "\n" << printFunction(*F, Opts);
+  return OS.str();
+}

@@ -1,0 +1,40 @@
+//===- Printer.h - Textual form of the SIMPLE IR ----------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic pretty-printing of SIMPLE programs. Where the paper
+/// underlines remote references, we append a `{r}` marker, e.g.
+/// `S3: ax = p->x{r}`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SIMPLE_PRINTER_H
+#define EARTHCC_SIMPLE_PRINTER_H
+
+#include "simple/Function.h"
+
+#include <string>
+
+namespace earthcc {
+
+/// Options controlling SIMPLE pretty-printing.
+struct PrintOptions {
+  bool ShowLabels = true;       ///< Prefix basic statements with "Sn: ".
+  bool MarkRemote = true;       ///< Append {r} to remote loads/stores.
+  unsigned IndentWidth = 2;
+};
+
+std::string printRValue(const RValue &R, const PrintOptions &Opts = {});
+std::string printLValue(const LValue &L, const PrintOptions &Opts = {});
+std::string printStmt(const Stmt &S, const PrintOptions &Opts = {},
+                      unsigned Indent = 0);
+std::string printFunction(const Function &F, const PrintOptions &Opts = {});
+std::string printModule(const Module &M, const PrintOptions &Opts = {});
+
+} // namespace earthcc
+
+#endif // EARTHCC_SIMPLE_PRINTER_H

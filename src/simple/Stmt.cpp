@@ -1,0 +1,210 @@
+//===- Stmt.cpp -----------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simple/Stmt.h"
+
+using namespace earthcc;
+
+RValue::~RValue() = default;
+Stmt::~Stmt() = default;
+
+const char *earthcc::unaryOpName(UnaryOp Op) {
+  switch (Op) {
+  case UnaryOp::Neg:
+    return "-";
+  case UnaryOp::Not:
+    return "!";
+  case UnaryOp::IntToDouble:
+    return "(double)";
+  case UnaryOp::DoubleToInt:
+    return "(int)";
+  }
+  return "?";
+}
+
+const char *earthcc::binaryOpName(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Add:
+    return "+";
+  case BinaryOp::Sub:
+    return "-";
+  case BinaryOp::Mul:
+    return "*";
+  case BinaryOp::Div:
+    return "/";
+  case BinaryOp::Rem:
+    return "%";
+  case BinaryOp::Lt:
+    return "<";
+  case BinaryOp::Le:
+    return "<=";
+  case BinaryOp::Gt:
+    return ">";
+  case BinaryOp::Ge:
+    return ">=";
+  case BinaryOp::Eq:
+    return "==";
+  case BinaryOp::Ne:
+    return "!=";
+  case BinaryOp::And:
+    return "&&";
+  case BinaryOp::Or:
+    return "||";
+  }
+  return "?";
+}
+
+bool earthcc::isComparison(BinaryOp Op) {
+  switch (Op) {
+  case BinaryOp::Lt:
+  case BinaryOp::Le:
+  case BinaryOp::Gt:
+  case BinaryOp::Ge:
+  case BinaryOp::Eq:
+  case BinaryOp::Ne:
+    return true;
+  default:
+    return false;
+  }
+}
+
+void earthcc::forEachChildSeq(Stmt &S,
+                              const std::function<void(SeqStmt &)> &Fn) {
+  switch (S.kind()) {
+  case StmtKind::Seq:
+    // A sequence's children are statements, not sub-sequences; callers that
+    // want recursion use forEachStmt.
+    break;
+  case StmtKind::If: {
+    auto &If = castStmt<IfStmt>(S);
+    Fn(*If.Then);
+    Fn(*If.Else);
+    break;
+  }
+  case StmtKind::Switch: {
+    auto &Sw = castStmt<SwitchStmt>(S);
+    for (auto &C : Sw.Cases)
+      Fn(*C.Body);
+    Fn(*Sw.Default);
+    break;
+  }
+  case StmtKind::While:
+    Fn(*castStmt<WhileStmt>(S).Body);
+    break;
+  case StmtKind::Forall: {
+    auto &Fa = castStmt<ForallStmt>(S);
+    Fn(*Fa.Init);
+    Fn(*Fa.Step);
+    Fn(*Fa.Body);
+    break;
+  }
+  case StmtKind::Assign:
+  case StmtKind::Call:
+  case StmtKind::Return:
+  case StmtKind::BlkMov:
+  case StmtKind::Atomic:
+    break;
+  }
+}
+
+void earthcc::forEachChildSeq(const Stmt &S,
+                              const std::function<void(const SeqStmt &)> &Fn) {
+  forEachChildSeq(const_cast<Stmt &>(S),
+                  [&Fn](SeqStmt &Seq) { Fn(Seq); });
+}
+
+void earthcc::forEachStmt(Stmt &S, const std::function<void(Stmt &)> &Fn) {
+  Fn(S);
+  if (auto *Seq = dynCastStmt<SeqStmt>(&S)) {
+    for (auto &Child : Seq->Stmts)
+      forEachStmt(*Child, Fn);
+    return;
+  }
+  forEachChildSeq(S, [&Fn](SeqStmt &Child) { forEachStmt(Child, Fn); });
+}
+
+void earthcc::forEachStmt(const Stmt &S,
+                          const std::function<void(const Stmt &)> &Fn) {
+  forEachStmt(const_cast<Stmt &>(S), [&Fn](Stmt &T) { Fn(T); });
+}
+
+static std::unique_ptr<SeqStmt> cloneSeq(const SeqStmt &Seq) {
+  auto Out = std::make_unique<SeqStmt>(Seq.Parallel);
+  Out->setLabel(Seq.label());
+  Out->setLoc(Seq.loc());
+  for (const auto &Child : Seq.Stmts)
+    Out->push(cloneStmt(*Child));
+  return Out;
+}
+
+StmtPtr earthcc::cloneStmt(const Stmt &S) {
+  StmtPtr Out;
+  switch (S.kind()) {
+  case StmtKind::Seq:
+    Out = cloneSeq(castStmt<SeqStmt>(S));
+    break;
+  case StmtKind::Assign: {
+    const auto &A = castStmt<AssignStmt>(S);
+    Out = std::make_unique<AssignStmt>(A.L, A.R->clone());
+    break;
+  }
+  case StmtKind::Call: {
+    const auto &C = castStmt<CallStmt>(S);
+    auto NewC = std::make_unique<CallStmt>(C.Result, C.CalleeName, C.Args);
+    NewC->Callee = C.Callee;
+    NewC->Intrin = C.Intrin;
+    NewC->Placement = C.Placement;
+    NewC->PlacementArg = C.PlacementArg;
+    Out = std::move(NewC);
+    break;
+  }
+  case StmtKind::Return: {
+    const auto &R = castStmt<ReturnStmt>(S);
+    Out = std::make_unique<ReturnStmt>(R.Val);
+    break;
+  }
+  case StmtKind::BlkMov: {
+    const auto &B = castStmt<BlkMovStmt>(S);
+    Out = std::make_unique<BlkMovStmt>(B.Dir, B.Ptr, B.LocalStruct, B.Words);
+    break;
+  }
+  case StmtKind::Atomic: {
+    const auto &A = castStmt<AtomicStmt>(S);
+    Out = std::make_unique<AtomicStmt>(A.Op, A.SharedVar, A.Val, A.Result);
+    break;
+  }
+  case StmtKind::If: {
+    const auto &If = castStmt<IfStmt>(S);
+    Out = std::make_unique<IfStmt>(If.Cond->clone(), cloneSeq(*If.Then),
+                                   cloneSeq(*If.Else));
+    break;
+  }
+  case StmtKind::Switch: {
+    const auto &Sw = castStmt<SwitchStmt>(S);
+    auto NewSw = std::make_unique<SwitchStmt>(Sw.Val);
+    for (const auto &C : Sw.Cases)
+      NewSw->Cases.push_back({C.Value, cloneSeq(*C.Body)});
+    NewSw->Default = cloneSeq(*Sw.Default);
+    Out = std::move(NewSw);
+    break;
+  }
+  case StmtKind::While: {
+    const auto &W = castStmt<WhileStmt>(S);
+    Out = std::make_unique<WhileStmt>(W.Cond->clone(), cloneSeq(*W.Body),
+                                      W.IsDoWhile);
+    break;
+  }
+  case StmtKind::Forall: {
+    const auto &F = castStmt<ForallStmt>(S);
+    Out = std::make_unique<ForallStmt>(cloneSeq(*F.Init), F.Cond->clone(),
+                                       cloneSeq(*F.Step), cloneSeq(*F.Body));
+    break;
+  }
+  }
+  Out->setLabel(S.label());
+  Out->setLoc(S.loc());
+  return Out;
+}

@@ -1,0 +1,109 @@
+//===- Type.cpp -----------------------------------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simple/Type.h"
+
+using namespace earthcc;
+
+void StructType::addField(const std::string &FieldName, const Type *Ty) {
+  assert(!Complete && "cannot add fields after finalize()");
+  assert(Ty && !Ty->isVoid() && "field must have a sized type");
+  Fields.push_back({FieldName, Ty, /*OffsetWords=*/0});
+}
+
+void StructType::finalize() {
+  assert(!Complete && "finalize() called twice");
+  unsigned Offset = 0;
+  for (Field &F : Fields) {
+    F.OffsetWords = Offset;
+    Offset += F.Ty->sizeInWords();
+  }
+  SizeWords = Offset;
+  Complete = true;
+}
+
+const StructType::Field *
+StructType::findField(const std::string &FieldName) const {
+  for (const Field &F : Fields)
+    if (F.Name == FieldName)
+      return &F;
+  return nullptr;
+}
+
+const StructType::Field *StructType::fieldAtOffset(unsigned OffsetWords) const {
+  for (const Field &F : Fields)
+    if (F.OffsetWords <= OffsetWords &&
+        OffsetWords < F.OffsetWords + F.Ty->sizeInWords())
+      return &F;
+  return nullptr;
+}
+
+std::string Type::str() const {
+  switch (Kind) {
+  case TypeKind::Void:
+    return "void";
+  case TypeKind::Int:
+    return "int";
+  case TypeKind::Double:
+    return "double";
+  case TypeKind::Struct:
+    return "struct " + Struct->name();
+  case TypeKind::Pointer:
+    return Pointee->str() + (LocalQual ? " local *" : " *");
+  }
+  return "<bad type>";
+}
+
+TypeContext::TypeContext() {
+  Types.push_back(Type(TypeKind::Void, nullptr, false, nullptr));
+  VoidTy = &Types.back();
+  Types.push_back(Type(TypeKind::Int, nullptr, false, nullptr));
+  IntTy = &Types.back();
+  Types.push_back(Type(TypeKind::Double, nullptr, false, nullptr));
+  DoubleTy = &Types.back();
+}
+
+const Type *TypeContext::pointerTo(const Type *Pointee, bool LocalQual) {
+  assert(Pointee && "pointer must have a pointee");
+  auto Key = std::make_pair(Pointee, LocalQual);
+  auto It = PointerTypes.find(Key);
+  if (It != PointerTypes.end())
+    return It->second;
+  Types.push_back(Type(TypeKind::Pointer, Pointee, LocalQual, nullptr));
+  const Type *T = &Types.back();
+  PointerTypes[Key] = T;
+  return T;
+}
+
+const Type *TypeContext::structTy(const StructType *S) {
+  assert(S && "null struct");
+  auto It = StructValueTypes.find(S);
+  if (It != StructValueTypes.end())
+    return It->second;
+  Types.push_back(Type(TypeKind::Struct, nullptr, false, S));
+  const Type *T = &Types.back();
+  StructValueTypes[S] = T;
+  return T;
+}
+
+StructType *TypeContext::createStruct(const std::string &Name) {
+  if (StructsByName.count(Name))
+    return nullptr;
+  Structs.push_back(StructType(Name));
+  StructType *S = &Structs.back();
+  StructsByName[Name] = S;
+  return S;
+}
+
+StructType *TypeContext::findStruct(const std::string &Name) {
+  auto It = StructsByName.find(Name);
+  return It == StructsByName.end() ? nullptr : It->second;
+}
+
+const StructType *TypeContext::findStruct(const std::string &Name) const {
+  auto It = StructsByName.find(Name);
+  return It == StructsByName.end() ? nullptr : It->second;
+}

@@ -1,0 +1,158 @@
+//===- Type.h - Types for the SIMPLE IR -------------------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Types for EARTH-C and the SIMPLE IR: void, int, double, struct types, and
+/// pointers (optionally carrying the EARTH-C `local` qualifier, which asserts
+/// the pointee lives in the executing node's local memory).
+///
+/// Layout is word-based, matching how the paper's cost model counts data:
+/// every scalar and pointer occupies exactly one machine word; a struct
+/// occupies the sum of its field sizes, with nested structs laid out inline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SIMPLE_TYPE_H
+#define EARTHCC_SIMPLE_TYPE_H
+
+#include <cassert>
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace earthcc {
+
+class Type;
+
+/// A named aggregate of fields, laid out inline at word granularity.
+class StructType {
+public:
+  struct Field {
+    std::string Name;
+    const Type *Ty;
+    unsigned OffsetWords; ///< Word offset of the field within the struct.
+  };
+
+  explicit StructType(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+  const std::vector<Field> &fields() const { return Fields; }
+  unsigned sizeInWords() const { return SizeWords; }
+  bool isComplete() const { return Complete; }
+
+  /// Appends a field; only valid before finalize().
+  void addField(const std::string &FieldName, const Type *Ty);
+
+  /// Computes offsets and the total size. Fields are frozen afterwards.
+  void finalize();
+
+  /// Finds a direct field by name, or nullptr.
+  const Field *findField(const std::string &FieldName) const;
+
+  /// Returns the field whose inline storage contains word \p OffsetWords
+  /// (descending into nested structs is the caller's job), or nullptr.
+  const Field *fieldAtOffset(unsigned OffsetWords) const;
+
+private:
+  std::string Name;
+  std::vector<Field> Fields;
+  unsigned SizeWords = 0;
+  bool Complete = false;
+};
+
+/// Kinds of SIMPLE types.
+enum class TypeKind { Void, Int, Double, Pointer, Struct };
+
+/// An immutable, interned type. Obtain instances from TypeContext; pointer
+/// equality is type equality.
+class Type {
+public:
+  TypeKind kind() const { return Kind; }
+  bool isVoid() const { return Kind == TypeKind::Void; }
+  bool isInt() const { return Kind == TypeKind::Int; }
+  bool isDouble() const { return Kind == TypeKind::Double; }
+  bool isPointer() const { return Kind == TypeKind::Pointer; }
+  bool isStruct() const { return Kind == TypeKind::Struct; }
+  bool isScalar() const { return isInt() || isDouble() || isPointer(); }
+
+  /// For pointers: the pointed-to type.
+  const Type *pointee() const {
+    assert(isPointer() && "not a pointer type");
+    return Pointee;
+  }
+
+  /// For pointers: true if declared with the EARTH-C `local` qualifier.
+  bool isLocalPointer() const { return isPointer() && LocalQual; }
+
+  /// For struct types: the struct definition.
+  const StructType *structType() const {
+    assert(isStruct() && "not a struct type");
+    return Struct;
+  }
+
+  /// Size of a value of this type, in machine words.
+  unsigned sizeInWords() const {
+    if (isStruct())
+      return Struct->sizeInWords();
+    return isVoid() ? 0 : 1;
+  }
+
+  /// Renders the type in EARTH-C syntax, e.g. "struct node local *".
+  std::string str() const;
+
+private:
+  friend class TypeContext;
+  Type(TypeKind Kind, const Type *Pointee, bool LocalQual,
+       const StructType *Struct)
+      : Kind(Kind), Pointee(Pointee), LocalQual(LocalQual), Struct(Struct) {}
+
+  TypeKind Kind;
+  const Type *Pointee = nullptr;
+  bool LocalQual = false;
+  const StructType *Struct = nullptr;
+};
+
+/// Owns and interns all types for one Module.
+class TypeContext {
+public:
+  TypeContext();
+  TypeContext(const TypeContext &) = delete;
+  TypeContext &operator=(const TypeContext &) = delete;
+
+  const Type *voidTy() const { return VoidTy; }
+  const Type *intTy() const { return IntTy; }
+  const Type *doubleTy() const { return DoubleTy; }
+
+  /// Interns the pointer type to \p Pointee, with or without `local`.
+  const Type *pointerTo(const Type *Pointee, bool LocalQual = false);
+
+  /// Interns the type of values of struct \p S.
+  const Type *structTy(const StructType *S);
+
+  /// Creates a new (initially incomplete) struct type. Names are unique per
+  /// context; returns nullptr if \p Name is already taken.
+  StructType *createStruct(const std::string &Name);
+
+  /// Finds a struct by name, or nullptr.
+  StructType *findStruct(const std::string &Name);
+  const StructType *findStruct(const std::string &Name) const;
+
+private:
+  std::deque<Type> Types;
+  std::deque<StructType> Structs;
+  std::map<std::string, StructType *> StructsByName;
+  std::map<std::pair<const Type *, bool>, const Type *> PointerTypes;
+  std::map<const StructType *, const Type *> StructValueTypes;
+  const Type *VoidTy;
+  const Type *IntTy;
+  const Type *DoubleTy;
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_SIMPLE_TYPE_H

@@ -1,0 +1,41 @@
+//===- Verifier.h - Structural checks on SIMPLE IR --------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Verifier checks the invariants every pass must preserve:
+///  - every basic statement performs at most one (possibly remote) memory
+///    indirection (the SIMPLE property the placement analysis relies on);
+///  - loop/if conditions are indirection-free;
+///  - every referenced variable is owned by the enclosing function or module;
+///  - labels, when present, are unique;
+///  - block moves are well-formed (struct pointer + matching local struct);
+///  - atomic statements target shared variables, and shared variables are
+///    never accessed outside atomic statements.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SIMPLE_VERIFIER_H
+#define EARTHCC_SIMPLE_VERIFIER_H
+
+#include "simple/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace earthcc {
+
+/// Checks \p F; appends human-readable problem descriptions to \p Errors.
+/// Returns true if no problems were found.
+bool verifyFunction(const Module &M, const Function &F,
+                    std::vector<std::string> &Errors);
+
+/// Checks every function in \p M. Returns true if the module is clean.
+bool verifyModule(const Module &M, std::vector<std::string> &Errors);
+
+} // namespace earthcc
+
+#endif // EARTHCC_SIMPLE_VERIFIER_H

@@ -1,0 +1,68 @@
+//===- Diagnostics.h - Error reporting for the compiler ---------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small diagnostics engine. Library code never prints directly or throws;
+/// it records errors here and callers decide how to surface them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SUPPORT_DIAGNOSTICS_H
+#define EARTHCC_SUPPORT_DIAGNOSTICS_H
+
+#include "support/SourceLoc.h"
+
+#include <string>
+#include <vector>
+
+namespace earthcc {
+
+/// Severity of a recorded diagnostic.
+enum class DiagKind { Error, Warning, Note };
+
+/// One recorded diagnostic message.
+struct Diagnostic {
+  DiagKind Kind;
+  SourceLoc Loc;
+  std::string Message;
+
+  /// Renders the diagnostic in "line:col: error: message" style.
+  std::string str() const;
+};
+
+/// Collects diagnostics produced while compiling one translation unit.
+///
+/// The engine is append-only; passes query hasErrors() to decide whether it
+/// is safe to continue.
+class DiagnosticsEngine {
+public:
+  void error(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagKind::Error, Loc, Message});
+    ++NumErrors;
+  }
+  void warning(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagKind::Warning, Loc, Message});
+  }
+  void note(SourceLoc Loc, const std::string &Message) {
+    Diags.push_back({DiagKind::Note, Loc, Message});
+  }
+
+  bool hasErrors() const { return NumErrors != 0; }
+  unsigned errorCount() const { return NumErrors; }
+  const std::vector<Diagnostic> &all() const { return Diags; }
+
+  /// Renders every diagnostic, one per line. Convenient for tests and tools.
+  std::string str() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+  unsigned NumErrors = 0;
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_SUPPORT_DIAGNOSTICS_H

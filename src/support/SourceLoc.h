@@ -1,0 +1,46 @@
+//===- SourceLoc.h - Source positions for diagnostics ----------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Defines SourceLoc, a lightweight (line, column) position used by the
+/// EARTH-C frontend and the diagnostics engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SUPPORT_SOURCELOC_H
+#define EARTHCC_SUPPORT_SOURCELOC_H
+
+#include <string>
+
+namespace earthcc {
+
+/// A position in an EARTH-C source buffer. Line and column are 1-based;
+/// a default-constructed SourceLoc is "unknown".
+struct SourceLoc {
+  unsigned Line = 0;
+  unsigned Col = 0;
+
+  SourceLoc() = default;
+  SourceLoc(unsigned Line, unsigned Col) : Line(Line), Col(Col) {}
+
+  bool isValid() const { return Line != 0; }
+
+  /// Renders the location as "line:col", or "<unknown>" if invalid.
+  std::string str() const {
+    if (!isValid())
+      return "<unknown>";
+    return std::to_string(Line) + ":" + std::to_string(Col);
+  }
+
+  friend bool operator==(SourceLoc A, SourceLoc B) {
+    return A.Line == B.Line && A.Col == B.Col;
+  }
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_SUPPORT_SOURCELOC_H

@@ -1,0 +1,51 @@
+//===- Statistics.h - Named counters for compiler passes --------*- C++ -*-===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A registry of named counters, in the spirit of LLVM's Statistic class but
+/// owned per-compilation rather than global, so parallel compilations and
+/// tests never interfere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SUPPORT_STATISTICS_H
+#define EARTHCC_SUPPORT_STATISTICS_H
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace earthcc {
+
+/// Named counters incremented by passes; keys are "pass.counter" strings.
+///
+/// The map is ordered so that rendering is deterministic.
+class Statistics {
+public:
+  void add(const std::string &Key, uint64_t Delta = 1) {
+    Counters[Key] += Delta;
+  }
+  uint64_t get(const std::string &Key) const {
+    auto It = Counters.find(Key);
+    return It == Counters.end() ? 0 : It->second;
+  }
+  const std::map<std::string, uint64_t> &all() const { return Counters; }
+
+  /// Renders "key = value" lines sorted by key.
+  std::string str() const {
+    std::string Out;
+    for (const auto &[Key, Value] : Counters)
+      Out += Key + " = " + std::to_string(Value) + "\n";
+    return Out;
+  }
+
+private:
+  std::map<std::string, uint64_t> Counters;
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_SUPPORT_STATISTICS_H

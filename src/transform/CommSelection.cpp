@@ -1,0 +1,676 @@
+//===- CommSelection.cpp - Communication selection transform --------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/CommSelection.h"
+
+#include "analysis/PointsTo.h"
+#include "simple/Verifier.h"
+
+#include <cassert>
+#include <deque>
+
+using namespace earthcc;
+
+namespace {
+
+using RCEKey = std::pair<const Var *, unsigned>;
+
+/// Tri-state result of the "dereference on all paths" check (the paper's
+/// footnote 2: a hoisted read is only safe where some dereference of the
+/// pointer is guaranteed to happen anyway).
+enum class Deref { Yes, No, Transparent };
+
+class Selector {
+public:
+  Selector(Module &M, Function &F, const CommOptions &Opts, Statistics &Stats)
+      : M(M), F(F), Opts(Opts), Stats(Stats), PT(M), SE(M, PT),
+        PR(runPlacementAnalysis(F, SE, Opts.Placement)) {}
+
+  void run() {
+    if (Opts.EnableWriteBlocking && Opts.EnableBlocking)
+      planWritesSeq(F.body());
+    processSeq(F.body());
+    F.relabel();
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Write-group planning (latest placement, blocked only).
+  //===--------------------------------------------------------------------===
+
+  struct WriteGroup {
+    const Var *Base = nullptr;
+    unsigned StructWords = 0;
+    std::set<unsigned> Offsets;
+    std::set<int> CoveredLabels;
+    const Stmt *FillBeforeElem = nullptr; ///< Element of the sink sequence.
+    const Stmt *SinkAfterElem = nullptr;  ///< Element of the sink sequence.
+    Var *Block = nullptr;                 ///< Chosen during the rewrite walk.
+    bool ElideFill = false; ///< All words stored + no direct reads: no fill.
+  };
+
+  /// True if any basic statement inside \p S carries one of \p Labels.
+  static bool containsLabel(const Stmt &S, const std::set<int> &Labels) {
+    bool Found = false;
+    forEachStmt(S, [&](const Stmt &Inner) {
+      if (!Found && Labels.count(Inner.label()))
+        Found = true;
+    });
+    return Found;
+  }
+
+  void planWritesSeq(SeqStmt &Seq) {
+    if (Seq.Parallel) {
+      for (auto &Branch : Seq.Stmts)
+        planWritesSeq(castStmt<SeqStmt>(*Branch));
+      return;
+    }
+    for (size_t I = Seq.Stmts.size(); I-- > 0;) {
+      Stmt &S = *Seq.Stmts[I];
+      planWritesAt(Seq, I);
+      forEachChildSeq(S, [this](SeqStmt &Child) { planWritesSeq(Child); });
+    }
+  }
+
+  /// Considers sinking write tuples to "just after Seq.Stmts[I]".
+  void planWritesAt(SeqStmt &Seq, size_t I) {
+    const Stmt *S = Seq.Stmts[I].get();
+    const std::vector<RCE> &Tuples = PR.writesAfter(S);
+    if (Tuples.empty())
+      return;
+
+    // Group unselected candidate tuples by base pointer (keyed by the
+    // variable id so the emission order is deterministic).
+    std::map<unsigned, std::pair<const Var *, std::vector<const RCE *>>>
+        ByBase;
+    for (const RCE &T : Tuples) {
+      if (SelectedWriteKeys.count({T.Base, T.Off}))
+        continue;
+      if (T.Freq < 1.0)
+        continue;
+      const Type *BaseTy = T.Base->type();
+      if (!BaseTy->isPointer() || !BaseTy->pointee()->isStruct())
+        continue;
+      auto &Slot = ByBase[T.Base->id()];
+      Slot.first = T.Base;
+      Slot.second.push_back(&T);
+    }
+
+    for (auto &[BaseId, Entry] : ByBase) {
+      const Var *Base = Entry.first;
+      auto &Group = Entry.second;
+      unsigned Words = Base->type()->pointee()->sizeInWords();
+      if (!Opts.preferBlock(static_cast<unsigned>(Group.size()), Words))
+        continue;
+
+      WriteGroup G;
+      G.Base = Base;
+      G.StructWords = Words;
+      for (const RCE *T : Group) {
+        G.Offsets.insert(T->Off);
+        G.CoveredLabels.insert(T->DList.begin(), T->DList.end());
+      }
+
+      // Locate the earliest element of this sequence containing a covered
+      // store; the fill goes right before it.
+      size_t J = I + 1;
+      for (size_t K = 0; K <= I; ++K) {
+        if (containsLabel(*Seq.Stmts[K], G.CoveredLabels)) {
+          J = K;
+          break;
+        }
+      }
+      if (J > I)
+        continue; // Covered stores not found here — give up on this group.
+
+      if (!writeRegionSafe(G, Seq, J, I))
+        continue;
+
+      if (G.Offsets.size() == Words) {
+        // RemoteFill elision: every word is stored on every path, so no
+        // fill read is needed — unless a direct read in the region would
+        // observe not-yet-written block words.
+        G.ElideFill = true;
+        for (size_t K = J; K <= I && G.ElideFill; ++K)
+          if (SE.directlyReads(Base, *Seq.Stmts[K]))
+            G.ElideFill = false;
+      }
+
+      G.FillBeforeElem = Seq.Stmts[J].get();
+      G.SinkAfterElem = S;
+      Groups.push_back(G);
+      WriteGroup *GP = &Groups.back();
+      for (int L : G.CoveredLabels)
+        LabelToGroup[L] = GP;
+      FillAt[G.FillBeforeElem].push_back(GP);
+      SinkAt[G.SinkAfterElem].push_back(GP);
+      for (unsigned Off : G.Offsets)
+        SelectedWriteKeys.insert({Base, Off});
+      Stats.add("select.write_groups");
+    }
+  }
+
+  /// Checks that between the fill point (before element \p J) and the sink
+  /// (after element \p I) nothing invalidates a block write-back: the base
+  /// pointer is not reassigned and no *uncovered* word of the struct is
+  /// written through an alias (covered words are already protected by the
+  /// placement analysis; writing back a stale uncovered word would lose an
+  /// aliased update).
+  bool writeRegionSafe(const WriteGroup &G, const SeqStmt &Seq, size_t J,
+                       size_t I) const {
+    for (size_t K = J; K <= I; ++K) {
+      const Stmt &E = *Seq.Stmts[K];
+      if (SE.varWritten(G.Base, E))
+        return false;
+      for (unsigned Off = 0; Off != G.StructWords; ++Off) {
+        if (G.Offsets.count(Off))
+          continue;
+        if (SE.accessedViaAlias(G.Base, Off, E, /*Write=*/true))
+          return false;
+      }
+    }
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Deref-on-all-paths safety check.
+  //===--------------------------------------------------------------------===
+
+  Deref derefGuarantee(const Stmt &S, const Var *P) const {
+    switch (S.kind()) {
+    case StmtKind::Assign: {
+      const auto &A = castStmt<AssignStmt>(S);
+      if (const auto *L = dynCast<LoadRV>(A.R.get()))
+        if (L->Base == P)
+          return Deref::Yes;
+      if (A.L.Kind == LValueKind::Store && A.L.V == P)
+        return Deref::Yes;
+      if (A.L.Kind == LValueKind::Var && A.L.V == P)
+        return Deref::No;
+      return Deref::Transparent;
+    }
+    case StmtKind::Call: {
+      const auto &C = castStmt<CallStmt>(S);
+      return C.Result == P ? Deref::No : Deref::Transparent;
+    }
+    case StmtKind::Atomic: {
+      const auto &A = castStmt<AtomicStmt>(S);
+      return A.Result == P ? Deref::No : Deref::Transparent;
+    }
+    case StmtKind::BlkMov:
+      return castStmt<BlkMovStmt>(S).Ptr == P ? Deref::Yes
+                                              : Deref::Transparent;
+    case StmtKind::Return:
+      return Deref::No;
+    case StmtKind::Seq: {
+      const auto &Seq = castStmt<SeqStmt>(S);
+      if (Seq.Parallel) {
+        bool AnyNo = false;
+        for (const auto &Branch : Seq.Stmts) {
+          Deref D = derefGuarantee(*Branch, P);
+          if (D == Deref::Yes)
+            return Deref::Yes; // Every branch executes.
+          AnyNo |= D == Deref::No;
+        }
+        return AnyNo ? Deref::No : Deref::Transparent;
+      }
+      for (const auto &Child : Seq.Stmts) {
+        Deref D = derefGuarantee(*Child, P);
+        if (D != Deref::Transparent)
+          return D;
+      }
+      return Deref::Transparent;
+    }
+    case StmtKind::If: {
+      const auto &If = castStmt<IfStmt>(S);
+      Deref T = derefGuarantee(*If.Then, P);
+      Deref E = derefGuarantee(*If.Else, P);
+      if (T == Deref::No || E == Deref::No)
+        return Deref::No;
+      if (T == Deref::Yes && E == Deref::Yes)
+        return Deref::Yes;
+      return Deref::Transparent;
+    }
+    case StmtKind::Switch: {
+      const auto &Sw = castStmt<SwitchStmt>(S);
+      bool AllYes = true;
+      for (const auto &C : Sw.Cases) {
+        Deref D = derefGuarantee(*C.Body, P);
+        if (D == Deref::No)
+          return Deref::No;
+        AllYes &= D == Deref::Yes;
+      }
+      Deref D = derefGuarantee(*Sw.Default, P);
+      if (D == Deref::No)
+        return Deref::No;
+      AllYes &= D == Deref::Yes;
+      return AllYes ? Deref::Yes : Deref::Transparent;
+    }
+    case StmtKind::While: {
+      const auto &W = castStmt<WhileStmt>(S);
+      Deref D = derefGuarantee(*W.Body, P);
+      if (D == Deref::No)
+        return Deref::No;
+      if (W.IsDoWhile)
+        return D; // The body runs at least once.
+      return SE.varWritten(P, S) ? Deref::No : Deref::Transparent;
+    }
+    case StmtKind::Forall:
+      return SE.varWritten(P, S) ? Deref::No : Deref::Transparent;
+    }
+    return Deref::Transparent;
+  }
+
+  /// True if every path starting just before element \p I of \p Elems is
+  /// guaranteed to dereference \p P (conservatively: within this sequence).
+  bool safeToDeref(const std::vector<Stmt *> &Elems, size_t I,
+                   const Var *P) const {
+    if (Opts.SpeculativeReads)
+      return true;
+    for (size_t K = I; K != Elems.size(); ++K) {
+      Deref D = derefGuarantee(*Elems[K], P);
+      if (D != Deref::Transparent)
+        return D == Deref::Yes;
+    }
+    return false;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Live read bindings (the paper's hash table of selected operations).
+  //===--------------------------------------------------------------------===
+
+  struct ScalarBinding {
+    const Var *Temp = nullptr;
+    bool TempIsProgramVar = false; ///< Redundancy-elim-only mode reuses the
+                                   ///< original target variable as cache.
+  };
+
+  std::map<RCEKey, ScalarBinding> LiveScalar;
+  std::map<const Var *, Var *> LiveBlock;
+  std::optional<std::pair<RCEKey, ScalarBinding>> PendingBinding;
+
+  /// True if reading (T.Base, T.Off) might observe memory that an active
+  /// write group is still holding back in its block copy.
+  bool aliasesActiveWriteGroup(const RCE &T) const {
+    for (const WriteGroup *G : ActiveGroups) {
+      if (G->Base == T.Base)
+        continue; // Direct accesses are rewritten onto the block copy.
+      for (unsigned Off : G->Offsets)
+        if (PT.mayAlias(T.Base, T.Off, G->Base, Off))
+          return true;
+    }
+    return false;
+  }
+
+  struct BindingSnapshot {
+    std::map<RCEKey, ScalarBinding> Scalars;
+    std::map<const Var *, Var *> Blocks;
+  };
+
+  BindingSnapshot snapshot() const { return {LiveScalar, LiveBlock}; }
+  void restore(BindingSnapshot Snap) {
+    LiveScalar = std::move(Snap.Scalars);
+    LiveBlock = std::move(Snap.Blocks);
+  }
+
+  /// Drops every binding whose cached value \p S may invalidate.
+  void invalidateAfter(const Stmt &S) {
+    for (auto It = LiveScalar.begin(); It != LiveScalar.end();) {
+      const auto &[Key, B] = *It;
+      bool Dead = SE.varWritten(Key.first, S) ||
+                  SE.accessedViaAlias(Key.first, Key.second, S,
+                                      /*Write=*/true) ||
+                  // Program-variable caches (redundancy-elim-only mode)
+                  // cannot be refreshed by emitted coherence code, so any
+                  // direct store inside S — e.g. within a branch whose
+                  // binding updates were rolled back — kills them too.
+                  (B.TempIsProgramVar &&
+                   (SE.varWritten(B.Temp, S) ||
+                    SE.directlyWrites(Key.first, Key.second, S)));
+      It = Dead ? LiveScalar.erase(It) : std::next(It);
+    }
+    for (auto It = LiveBlock.begin(); It != LiveBlock.end();) {
+      const Var *Base = It->first;
+      bool Dead = SE.varWritten(Base, S);
+      if (!Dead) {
+        unsigned Words = Base->type()->pointee()->sizeInWords();
+        for (unsigned Off = 0; Off != Words && !Dead; ++Off)
+          Dead = SE.accessedViaAlias(Base, Off, S, /*Write=*/true);
+      }
+      It = Dead ? LiveBlock.erase(It) : std::next(It);
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // The rewrite walk.
+  //===--------------------------------------------------------------------===
+
+  Var *makeBlockVar(const Var *Base) {
+    const Type *StructTy = Base->type()->pointee();
+    return F.addTemp(StructTy, VarKind::BlockTemp);
+  }
+
+  void emitFill(SeqStmt &Out, WriteGroup *G) {
+    ActiveGroups.insert(G);
+    auto It = LiveBlock.find(G->Base);
+    if (It != LiveBlock.end()) {
+      G->Block = It->second; // RemoteFill satisfied by the blocked read.
+      Stats.add("select.fill_reused");
+      return;
+    }
+    G->Block = makeBlockVar(G->Base);
+    if (G->ElideFill) {
+      // Every word of the struct is stored on every path and nothing reads
+      // the base in the region, so there are no stale words to preserve:
+      // no fill read needed (the common fresh-allocation pattern).
+      LiveBlock[G->Base] = G->Block;
+      Stats.add("select.fill_elided");
+      return;
+    }
+    Out.push(std::make_unique<BlkMovStmt>(BlkMovDir::ReadToLocal,
+                                          G->Base, G->Block,
+                                          G->StructWords));
+    LiveBlock[G->Base] = G->Block;
+    Stats.add("select.fill_blkmovs");
+  }
+
+  /// Issues the reads placeable before element \p I of the current
+  /// sequence, following the earliest-placement policy.
+  void placeReadsBefore(SeqStmt &Out, const std::vector<Stmt *> &Elems,
+                        size_t I) {
+    const std::vector<RCE> &Tuples = PR.readsBefore(Elems[I]);
+    if (Tuples.empty())
+      return;
+
+    std::map<unsigned, std::pair<const Var *, std::vector<const RCE *>>>
+        ByBase;
+    for (const RCE &T : Tuples) {
+      if (LiveBlock.count(T.Base) || LiveScalar.count({T.Base, T.Off})) {
+        Stats.add("select.already_selected");
+        continue;
+      }
+      if (T.Freq < 1.0)
+        continue;
+      if (!safeToDeref(Elems, I, T.Base))
+        continue;
+      if (aliasesActiveWriteGroup(T)) {
+        // The location's current value may live only in a write group's
+        // pending block copy: hoisting the read here would observe stale
+        // memory. Leave the read at its original position.
+        Stats.add("select.suppressed_by_write_group");
+        continue;
+      }
+      auto &Slot = ByBase[T.Base->id()];
+      Slot.first = T.Base;
+      Slot.second.push_back(&T);
+    }
+
+    for (auto &[BaseId, Entry] : ByBase) {
+      const Var *Base = Entry.first;
+      auto &Group = Entry.second;
+      const Type *Pointee = Base->type()->pointee();
+      unsigned Words = Pointee->isStruct() ? Pointee->sizeInWords() : 1;
+      bool Block = Pointee->isStruct() &&
+                   Opts.preferBlock(static_cast<unsigned>(Group.size()),
+                                    Words);
+      if (Block) {
+        Var *B = makeBlockVar(Base);
+        Out.push(std::make_unique<BlkMovStmt>(BlkMovDir::ReadToLocal, Base,
+                                              B, Words));
+        LiveBlock[Base] = B;
+        Stats.add("select.blocked_reads");
+        continue;
+      }
+      for (const RCE *T : Group) {
+        Var *Temp = F.addTemp(T->ValueTy, VarKind::CommTemp);
+        Out.push(std::make_unique<AssignStmt>(
+            LValue::makeVar(Temp),
+            std::make_unique<LoadRV>(T->Base, T->Off, T->FieldName,
+                                     T->ValueTy, Locality::Remote)));
+        LiveScalar[{T->Base, T->Off}] = {Temp, /*TempIsProgramVar=*/false};
+        Stats.add("select.pipelined_reads");
+      }
+    }
+  }
+
+  /// Rewrites one assignment statement in place; may append coherence
+  /// updates to \p Out after pushing the statement.
+  void rewriteAssign(SeqStmt &Out, StmtPtr S) {
+    auto &A = castStmt<AssignStmt>(*S);
+
+    // Remote reads: substitute a live local copy if one exists.
+    if (A.isRemoteRead()) {
+      const auto &L = static_cast<const LoadRV &>(*A.R);
+      auto BlockIt = LiveBlock.find(L.Base);
+      if (BlockIt != LiveBlock.end()) {
+        A.R = std::make_unique<FieldReadRV>(BlockIt->second, L.OffsetWords,
+                                            L.FieldName, L.ValueTy);
+        Stats.add("select.rewritten_reads");
+      } else if (auto It = LiveScalar.find({L.Base, L.OffsetWords});
+                 It != LiveScalar.end()) {
+        A.R = std::make_unique<OpndRV>(Operand::var(It->second.Temp));
+        Stats.add("select.rewritten_reads");
+      } else if (Opts.EnableRedundancyElim && !Opts.EnableReadMotion &&
+                 A.L.Kind == LValueKind::Var && A.L.V != L.Base) {
+        // Pure redundancy elimination: the loaded-into variable becomes the
+        // cached copy until something clobbers it. Registered *after* the
+        // invalidation step, or the defining write would kill it at birth.
+        // Pointer-chase statements (p = p->next) are excluded: the loaded
+        // value belongs to the *old* p.
+        PendingBinding = {{L.Base, L.OffsetWords},
+                          {A.L.V, /*TempIsProgramVar=*/true}};
+      }
+      Out.push(std::move(S));
+      return;
+    }
+
+    // Remote writes.
+    if (A.isRemoteWrite()) {
+      const Var *Base = A.L.V;
+      unsigned Off = A.L.OffsetWords;
+      assert(A.R->kind() == RValueKind::Opnd &&
+             "SIMPLE stores take operand rhs");
+      Operand Val = static_cast<const OpndRV &>(*A.R).Val;
+
+      if (auto It = LabelToGroup.find(S->label());
+          It != LabelToGroup.end() && It->second->Block) {
+        // Covered by a blocked write group: the store becomes a local
+        // update of the block copy; the blkmov at the sink writes it back.
+        WriteGroup *G = It->second;
+        std::string FieldName = A.L.FieldName;
+        A.L = LValue::makeFieldWrite(G->Block, Off, FieldName);
+        Stats.add("select.rewritten_writes");
+        Out.push(std::move(S));
+        // A live pipelined copy of this location must track the new value
+        // (the read may have been hoisted above this store).
+        if (auto ScalarIt = LiveScalar.find({Base, Off});
+            ScalarIt != LiveScalar.end() &&
+            !ScalarIt->second.TempIsProgramVar) {
+          Out.push(std::make_unique<AssignStmt>(
+              LValue::makeVar(ScalarIt->second.Temp),
+              std::make_unique<OpndRV>(Val)));
+          Stats.add("select.coherence_updates");
+        }
+        return;
+      }
+
+      // Keep the remote store, but refresh *every* live local copy of the
+      // location — both the block copy and any pipelined scalar copy can
+      // outlive each other, so both must track the new value.
+      std::string FieldName = A.L.FieldName;
+      Out.push(std::move(S));
+      if (auto BlockIt = LiveBlock.find(Base); BlockIt != LiveBlock.end()) {
+        Out.push(std::make_unique<AssignStmt>(
+            LValue::makeFieldWrite(BlockIt->second, Off, FieldName),
+            std::make_unique<OpndRV>(Val)));
+        Stats.add("select.coherence_updates");
+      }
+      if (auto It = LiveScalar.find({Base, Off}); It != LiveScalar.end()) {
+        if (It->second.TempIsProgramVar &&
+            (!Val.isVar() || Val.getVar() != It->second.Temp)) {
+          // The cached program variable no longer matches; drop it.
+          LiveScalar.erase(It);
+        } else if (!It->second.TempIsProgramVar) {
+          Out.push(std::make_unique<AssignStmt>(
+              LValue::makeVar(It->second.Temp),
+              std::make_unique<OpndRV>(Val)));
+          Stats.add("select.coherence_updates");
+        }
+      }
+      return;
+    }
+
+    Out.push(std::move(S));
+  }
+
+  void processSeq(SeqStmt &Seq) {
+    if (Seq.Parallel) {
+      // Each branch sees the pre-existing bindings; nothing escapes.
+      BindingSnapshot Snap = snapshot();
+      for (auto &Branch : Seq.Stmts) {
+        restore(BindingSnapshot(Snap));
+        processSeq(castStmt<SeqStmt>(*Branch));
+      }
+      restore(std::move(Snap));
+      return;
+    }
+
+    std::vector<StmtPtr> Old = std::move(Seq.Stmts);
+    Seq.Stmts.clear();
+    std::vector<Stmt *> Elems;
+    Elems.reserve(Old.size());
+    for (auto &S : Old)
+      Elems.push_back(S.get());
+
+    for (size_t I = 0; I != Old.size(); ++I) {
+      StmtPtr S = std::move(Old[I]);
+      Stmt *Raw = S.get();
+
+      // RemoteFill obligations whose first covered store lives here.
+      if (auto It = FillAt.find(Raw); It != FillAt.end())
+        for (WriteGroup *G : It->second)
+          emitFill(Seq, G);
+
+      // Earliest placement of remote reads.
+      if (Opts.EnableReadMotion)
+        placeReadsBefore(Seq, Elems, I);
+
+      switch (Raw->kind()) {
+      case StmtKind::Assign:
+        rewriteAssign(Seq, std::move(S));
+        break;
+      case StmtKind::If: {
+        auto &If = castStmt<IfStmt>(*Raw);
+        BindingSnapshot Snap = snapshot();
+        processSeq(*If.Then);
+        restore(BindingSnapshot(Snap));
+        processSeq(*If.Else);
+        restore(std::move(Snap));
+        Seq.push(std::move(S));
+        break;
+      }
+      case StmtKind::Switch: {
+        auto &Sw = castStmt<SwitchStmt>(*Raw);
+        BindingSnapshot Snap = snapshot();
+        for (auto &C : Sw.Cases) {
+          restore(BindingSnapshot(Snap));
+          processSeq(*C.Body);
+        }
+        restore(BindingSnapshot(Snap));
+        processSeq(*Sw.Default);
+        restore(std::move(Snap));
+        Seq.push(std::move(S));
+        break;
+      }
+      case StmtKind::While: {
+        auto &W = castStmt<WhileStmt>(*Raw);
+        BindingSnapshot Snap = snapshot();
+        // Bindings must be valid on *every* iteration: filter by the
+        // loop's own effects before entering the body.
+        invalidateAfter(*Raw);
+        processSeq(*W.Body);
+        restore(std::move(Snap));
+        Seq.push(std::move(S));
+        break;
+      }
+      case StmtKind::Forall: {
+        auto &Fa = castStmt<ForallStmt>(*Raw);
+        BindingSnapshot Snap = snapshot();
+        invalidateAfter(*Raw);
+        processSeq(*Fa.Init);
+        processSeq(*Fa.Step);
+        processSeq(*Fa.Body);
+        restore(std::move(Snap));
+        Seq.push(std::move(S));
+        break;
+      }
+      case StmtKind::Seq:
+        processSeq(castStmt<SeqStmt>(*Raw));
+        Seq.push(std::move(S));
+        break;
+      default:
+        Seq.push(std::move(S));
+        break;
+      }
+
+      // Anything this statement may have clobbered invalidates caches.
+      invalidateAfter(*Raw);
+      if (PendingBinding) {
+        LiveScalar[PendingBinding->first] = PendingBinding->second;
+        PendingBinding.reset();
+      }
+
+      // Blocked write-backs sunk to just after this element.
+      if (auto It = SinkAt.find(Raw); It != SinkAt.end()) {
+        for (WriteGroup *G : It->second) {
+          ActiveGroups.erase(G);
+          if (!G->Block)
+            continue; // Fill never ran (group degenerated); stores stayed
+                      // remote, nothing to write back.
+          Seq.push(std::make_unique<BlkMovStmt>(BlkMovDir::WriteFromLocal,
+                                                G->Base, G->Block,
+                                                G->StructWords));
+          Stats.add("select.blocked_writes");
+        }
+      }
+    }
+  }
+
+  Module &M;
+  Function &F;
+  const CommOptions &Opts;
+  Statistics &Stats;
+  PointsToAnalysis PT;
+  SideEffects SE;
+  PlacementResult PR;
+
+  std::deque<WriteGroup> Groups;
+  std::set<WriteGroup *> ActiveGroups;
+  std::map<int, WriteGroup *> LabelToGroup;
+  std::map<const Stmt *, std::vector<WriteGroup *>> FillAt;
+  std::map<const Stmt *, std::vector<WriteGroup *>> SinkAt;
+  std::set<RCEKey> SelectedWriteKeys;
+};
+
+} // namespace
+
+bool earthcc::optimizeFunctionCommunication(Module &M, Function &F,
+                                            const CommOptions &Opts,
+                                            Statistics &Stats,
+                                            std::vector<std::string> &Errors) {
+  F.relabel();
+  Selector(M, F, Opts, Stats).run();
+  return verifyFunction(M, F, Errors);
+}
+
+bool earthcc::optimizeModuleCommunication(Module &M, const CommOptions &Opts,
+                                          Statistics &Stats,
+                                          std::vector<std::string> &Errors) {
+  bool OK = true;
+  for (const auto &F : M.functions())
+    OK &= optimizeFunctionCommunication(M, *F, Opts, Stats, Errors);
+  return OK;
+}

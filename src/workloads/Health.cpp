@@ -1,0 +1,289 @@
+//===- Health.cpp - The Olden "health" benchmark in EARTH-C ----------------===//
+//
+// Part of the earthcc project.
+//
+// Simulation of the Colombian health-care system over a 4-way tree of
+// villages. Each time step simulates all villages (children in parallel,
+// placed at the owners of the subtrees): patients progress through
+// waiting -> assess -> inside lists, or get passed up to the parent
+// village. The list-walking code matches the paper's Figure 11(c)
+// (check_patients_inside), which benefits from pipelining and redundant
+// communication elimination.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *earthccHealthSource = R"EARTH(
+// ---- Olden health, EARTH-C dialect ----------------------------------------
+
+struct Patient {
+  int id;
+  int time;
+  int time_left;
+};
+
+struct List {
+  Patient *patient;
+  List *forward;
+};
+
+struct Hosp {
+  int free_personnel;
+  int treated;
+  List *waiting;
+  List *assess;
+  List *inside;
+};
+
+struct Village {
+  Village *child0;
+  Village *child1;
+  Village *child2;
+  Village *child3;
+  Village *parent;
+  int label;
+  int seed;
+  int level;
+  Hosp hosp;
+};
+
+int childwhere(int where, int k, int level) {
+  if (level >= 2) {
+    return (where * 4 + k + 1) % num_nodes();
+  }
+  return where;
+}
+
+Village *build(int level, Village *parent, int label, int where) {
+  Village *v;
+  int w0; int w1; int w2; int w3;
+  v = pmalloc(sizeof(Village))@node(where);
+  v->parent = parent;
+  v->label = label;
+  v->seed = label * 1299721 + 12345;
+  v->level = level;
+  v->hosp.free_personnel = level * 4 + 2;
+  v->hosp.treated = 0;
+  v->hosp.waiting = NULL;
+  v->hosp.assess = NULL;
+  v->hosp.inside = NULL;
+  if (level == 0) {
+    v->child0 = NULL;
+    v->child1 = NULL;
+    v->child2 = NULL;
+    v->child3 = NULL;
+  } else {
+    // Each subtree is constructed at its owner node, in parallel.
+    w0 = childwhere(where, 0, level);
+    w1 = childwhere(where, 1, level);
+    w2 = childwhere(where, 2, level);
+    w3 = childwhere(where, 3, level);
+    {^
+      v->child0 = build(level - 1, v, label * 4 + 1, w0)@node(w0);
+      v->child1 = build(level - 1, v, label * 4 + 2, w1)@node(w1);
+      v->child2 = build(level - 1, v, label * 4 + 3, w2)@node(w2);
+      v->child3 = build(level - 1, v, label * 4 + 4, w3)@node(w3);
+    ^}
+  }
+  return v;
+}
+
+List *push(List *l, Patient *p) {
+  List *c;
+  c = pmalloc(sizeof(List))@node(my_node());
+  c->patient = p;
+  c->forward = l;
+  return c;
+}
+
+List *concat(List *a, List *b) {
+  List *p; List *f;
+  if (a == NULL) { return b; }
+  p = a;
+  f = p->forward;
+  while (f != NULL) {
+    p = f;
+    f = p->forward;
+  }
+  p->forward = b;
+  return a;
+}
+
+// Patients being treated: one step closer to done (Figure 11(c)).
+void check_inside(Village *village) {
+  List *list; List *prev;
+  Patient *p;
+  int tl; int comm6;
+  comm6 = village->hosp.free_personnel;
+  list = village->hosp.inside;
+  prev = NULL;
+  while (list != NULL) {
+    p = list->patient;
+    tl = p->time_left;
+    tl = tl - 1;
+    p->time_left = tl;
+    if (tl == 0) {
+      comm6 = comm6 + 1;
+      village->hosp.treated = village->hosp.treated + 1;
+      if (prev == NULL) {
+        village->hosp.inside = list->forward;
+      } else {
+        prev->forward = list->forward;
+      }
+      list = list->forward;
+    } else {
+      prev = list;
+      list = list->forward;
+    }
+  }
+  village->hosp.free_personnel = comm6;
+}
+
+// Patients under assessment: move to treatment here or get passed up.
+List *check_assess(Village *village) {
+  List *list; List *prev; List *up;
+  Patient *p;
+  int tl; int s;
+  up = NULL;
+  list = village->hosp.assess;
+  prev = NULL;
+  while (list != NULL) {
+    p = list->patient;
+    tl = p->time_left;
+    tl = tl - 1;
+    p->time_left = tl;
+    if (tl == 0) {
+      s = village->seed;
+      s = (s * 1103515245 + 12345) % 2147483648;
+      if (s < 0) { s = -s; }
+      village->seed = s;
+      if (prev == NULL) {
+        village->hosp.assess = list->forward;
+      } else {
+        prev->forward = list->forward;
+      }
+      if (s % 10 != 0 || village->level == 3) {
+        p->time_left = 6;
+        village->hosp.inside = push(village->hosp.inside, p);
+      } else {
+        village->hosp.free_personnel = village->hosp.free_personnel + 1;
+        up = push(up, p);
+      }
+      list = list->forward;
+    } else {
+      prev = list;
+      list = list->forward;
+    }
+  }
+  return up;
+}
+
+// Admit waiting patients while staff is available.
+void check_waiting(Village *village) {
+  List *list;
+  Patient *p;
+  int fp;
+  fp = village->hosp.free_personnel;
+  list = village->hosp.waiting;
+  while (list != NULL && fp > 0) {
+    p = list->patient;
+    fp = fp - 1;
+    p->time_left = 3;
+    p->time = p->time + 1;
+    village->hosp.assess = push(village->hosp.assess, p);
+    list = list->forward;
+    village->hosp.waiting = list;
+  }
+  village->hosp.free_personnel = fp;
+}
+
+// Leaf villages generate new patients.
+void generate(Village *village) {
+  int s;
+  Patient *p;
+  if (village->level != 0) { return; }
+  s = village->seed;
+  s = (s * 1103515245 + 12345) % 2147483648;
+  if (s < 0) { s = -s; }
+  village->seed = s;
+  if (s % 3 != 0) {
+    p = pmalloc(sizeof(Patient))@node(my_node());
+    p->id = s % 100000;
+    p->time = 0;
+    p->time_left = 0;
+    village->hosp.waiting = push(village->hosp.waiting, p);
+  }
+}
+
+// One time step for the subtree rooted at village; returns the list of
+// patients this village passes up to its parent.
+List *sim_village(Village *village) {
+  List *u0; List *u1; List *u2; List *u3;
+  List *up;
+  Village *c0; Village *c1; Village *c2; Village *c3;
+  if (village->level > 0) {
+    c0 = village->child0;
+    c1 = village->child1;
+    c2 = village->child2;
+    c3 = village->child3;
+    {^
+      u0 = sim_village(c0)@OWNER_OF(c0);
+      u1 = sim_village(c1)@OWNER_OF(c1);
+      u2 = sim_village(c2)@OWNER_OF(c2);
+      u3 = sim_village(c3)@OWNER_OF(c3);
+    ^}
+    village->hosp.waiting =
+        concat(u0, concat(u1, concat(u2, concat(u3,
+            village->hosp.waiting))));
+  }
+  check_inside(village);
+  up = check_assess(village);
+  check_waiting(village);
+  generate(village);
+  return up;
+}
+
+int count_treated(Village *v) {
+  int total;
+  if (v == NULL) { return 0; }
+  total = v->hosp.treated;
+  total = total + count_treated(v->child0);
+  total = total + count_treated(v->child1);
+  total = total + count_treated(v->child2);
+  total = total + count_treated(v->child3);
+  return total;
+}
+
+int count_left(Village *v) {
+  List *l;
+  int n;
+  if (v == NULL) { return 0; }
+  n = 0;
+  l = v->hosp.waiting;
+  while (l != NULL) { n = n + 1; l = l->forward; }
+  l = v->hosp.assess;
+  while (l != NULL) { n = n + 1; l = l->forward; }
+  l = v->hosp.inside;
+  while (l != NULL) { n = n + 1; l = l->forward; }
+  n = n + count_left(v->child0);
+  n = n + count_left(v->child1);
+  n = n + count_left(v->child2);
+  n = n + count_left(v->child3);
+  return n;
+}
+
+int main() {
+  Village *root;
+  List *up;
+  int t; int treated; int left;
+  root = build(3, NULL, 0, 0);
+  for (t = 0; t < 24; t = t + 1) {
+    up = sim_village(root);
+    // The root treats everything; nothing is passed above it.
+  }
+  treated = count_treated(root);
+  left = count_left(root);
+  return treated * 1000 + left;
+}
+)EARTH";

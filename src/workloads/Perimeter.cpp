@@ -1,0 +1,221 @@
+//===- Perimeter.cpp - The Olden "perimeter" benchmark in EARTH-C ----------===//
+//
+// Part of the earthcc project.
+//
+// Perimeter of a quad-tree encoded raster image (a disc). The tree is
+// built top-down with the top two levels spread across nodes; the
+// perimeter phase uses the classic gtequal_adj_neighbor / sum_adjacent
+// structure — the paper's Figure 11(b) shows exactly the blkmov the
+// optimizer produces for sum_adjacent's switch over child pointers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *earthccPerimeterSource = R"EARTH(
+// ---- Olden perimeter, EARTH-C dialect ------------------------------------
+
+struct Quad {
+  int color;      // 0 = white, 1 = black, 2 = grey
+  int childtype;  // quadrant within parent: 0 nw, 1 ne, 2 sw, 3 se
+  Quad *nw;
+  Quad *ne;
+  Quad *sw;
+  Quad *se;
+  Quad *parent;
+};
+
+// Top levels of the tree are spread round-robin over the machine.
+int childwhere(int where, int k, int level) {
+  if (level >= 5) {
+    return (where * 4 + k + 1) % num_nodes();
+  }
+  return where;
+}
+
+// The image: a disc of radius 90 centered at (128, 128) on a 256x256 grid.
+int image_black(int cx, int cy) {
+  int dx; int dy;
+  dx = cx - 128;
+  dy = cy - 128;
+  if (dx * dx + dy * dy <= 8100) { return 1; }
+  return 0;
+}
+
+Quad *maketree(int level, int cx, int cy, int sz, Quad *parent, int ct,
+               int where) {
+  Quad *q;
+  int h;
+  int w0; int w1; int w2; int w3;
+  q = pmalloc(sizeof(Quad))@node(where);
+  q->childtype = ct;
+  q->parent = parent;
+  if (level == 0) {
+    q->nw = NULL;
+    q->ne = NULL;
+    q->sw = NULL;
+    q->se = NULL;
+    q->color = image_black(cx, cy);
+    return q;
+  }
+  h = sz / 4;
+  q->color = 2;
+  // Each subtree is constructed at its owner node, so the build's stores
+  // stay node-local; the spread levels build their subtrees in parallel.
+  w0 = childwhere(where, 0, level);
+  w1 = childwhere(where, 1, level);
+  w2 = childwhere(where, 2, level);
+  w3 = childwhere(where, 3, level);
+  if (level >= 4) {
+    {^
+      q->nw = maketree(level - 1, cx - h, cy + h, sz / 2, q, 0, w0)@node(w0);
+      q->ne = maketree(level - 1, cx + h, cy + h, sz / 2, q, 1, w1)@node(w1);
+      q->sw = maketree(level - 1, cx - h, cy - h, sz / 2, q, 2, w2)@node(w2);
+      q->se = maketree(level - 1, cx + h, cy - h, sz / 2, q, 3, w3)@node(w3);
+    ^}
+  } else {
+    q->nw = maketree(level - 1, cx - h, cy + h, sz / 2, q, 0, w0)@node(w0);
+    q->ne = maketree(level - 1, cx + h, cy + h, sz / 2, q, 1, w1)@node(w1);
+    q->sw = maketree(level - 1, cx - h, cy - h, sz / 2, q, 2, w2)@node(w2);
+    q->se = maketree(level - 1, cx + h, cy - h, sz / 2, q, 3, w3)@node(w3);
+  }
+  return q;
+}
+
+// Directions: 0 = north, 1 = east, 2 = south, 3 = west.
+
+// Is quadrant ct on the boundary of its parent in direction d?
+int adjacent(int d, int ct) {
+  int r;
+  r = 0;
+  switch (d) {
+  case 0: if (ct == 0) { r = 1; } if (ct == 1) { r = 1; } break;
+  case 1: if (ct == 1) { r = 1; } if (ct == 3) { r = 1; } break;
+  case 2: if (ct == 2) { r = 1; } if (ct == 3) { r = 1; } break;
+  default: if (ct == 0) { r = 1; } if (ct == 2) { r = 1; } break;
+  }
+  return r;
+}
+
+// Mirror quadrant ct across the boundary in direction d.
+int reflect(int d, int ct) {
+  int r;
+  if (d == 0 || d == 2) {
+    // Vertical mirror: nw<->sw, ne<->se.
+    r = 0;
+    switch (ct) {
+    case 0: r = 2; break;
+    case 1: r = 3; break;
+    case 2: r = 0; break;
+    default: r = 1; break;
+    }
+    return r;
+  }
+  // Horizontal mirror: nw<->ne, sw<->se.
+  r = 0;
+  switch (ct) {
+  case 0: r = 1; break;
+  case 1: r = 0; break;
+  case 2: r = 3; break;
+  default: r = 2; break;
+  }
+  return r;
+}
+
+Quad *child_quad(Quad *q, int ct) {
+  Quad *r;
+  r = NULL;
+  switch (ct) {
+  case 0: r = q->nw; break;
+  case 1: r = q->ne; break;
+  case 2: r = q->sw; break;
+  default: r = q->se; break;
+  }
+  return r;
+}
+
+// The neighbor of q in direction d whose size is >= q's size.
+Quad *gtequal_adj_neighbor(Quad *q, int d) {
+  Quad *p;
+  Quad *a;
+  int ct;
+  p = q->parent;
+  ct = q->childtype;
+  if (p != NULL && adjacent(d, ct) == 1) {
+    a = gtequal_adj_neighbor(p, d);
+  } else {
+    a = p;
+  }
+  if (a != NULL && a->color == 2) {
+    return child_quad(a, reflect(d, ct));
+  }
+  return a;
+}
+
+// Perimeter contribution of the side of (possibly grey) quad q facing us;
+// q1/q2 are the two child quadrants along that side.
+int sum_adjacent(Quad *q, int q1, int q2, int sz) {
+  int s1; int s2; int c;
+  c = q->color;
+  if (c == 2) {
+    s1 = sum_adjacent(child_quad(q, q1), q1, q2, sz / 2);
+    s2 = sum_adjacent(child_quad(q, q2), q1, q2, sz / 2);
+    return s1 + s2;
+  }
+  if (c == 0) { return sz; }
+  return 0;
+}
+
+// Border length of black leaf q in direction d (against white or outside).
+int edge(Quad *q, int d, int q1, int q2, int sz) {
+  Quad *n;
+  n = gtequal_adj_neighbor(q, d);
+  if (n == NULL) { return sz; }
+  if (n->color == 0) { return sz; }
+  if (n->color == 2) { return sum_adjacent(n, q1, q2, sz); }
+  return 0;
+}
+
+int perimeter(Quad *q, int sz, int depth) {
+  int retv;
+  int p1; int p2; int p3; int p4;
+  Quad *cnw; Quad *cne; Quad *csw; Quad *cse;
+  if (q->color == 2) {
+    cnw = q->nw;
+    cne = q->ne;
+    csw = q->sw;
+    cse = q->se;
+    if (depth > 0) {
+      {^
+        p1 = perimeter(cnw, sz / 2, depth - 1)@OWNER_OF(cnw);
+        p2 = perimeter(cne, sz / 2, depth - 1)@OWNER_OF(cne);
+        p3 = perimeter(csw, sz / 2, depth - 1)@OWNER_OF(csw);
+        p4 = perimeter(cse, sz / 2, depth - 1)@OWNER_OF(cse);
+      ^}
+    } else {
+      p1 = perimeter(cnw, sz / 2, 0);
+      p2 = perimeter(cne, sz / 2, 0);
+      p3 = perimeter(csw, sz / 2, 0);
+      p4 = perimeter(cse, sz / 2, 0);
+    }
+    return p1 + p2 + p3 + p4;
+  }
+  if (q->color == 1) {
+    retv = 0;
+    retv = retv + edge(q, 0, 2, 3, sz); // north: neighbor's south side.
+    retv = retv + edge(q, 1, 0, 2, sz); // east: neighbor's west side.
+    retv = retv + edge(q, 2, 0, 1, sz); // south: neighbor's north side.
+    retv = retv + edge(q, 3, 1, 3, sz); // west: neighbor's east side.
+    return retv;
+  }
+  return 0;
+}
+
+int main() {
+  Quad *root;
+  int per;
+  root = maketree(6, 128, 128, 256, NULL, 0, 0);
+  per = perimeter(root, 256, 2);
+  return per;
+}
+)EARTH";

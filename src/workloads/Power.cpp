@@ -1,0 +1,243 @@
+//===- Power.cpp - The Olden "power" benchmark in EARTH-C ------------------===//
+//
+// Part of the earthcc project.
+//
+// Power-system optimization over a multi-level tree (root -> feeders ->
+// laterals -> branches -> leaves). Each pass walks the tree computing
+// power flows bottom-up; node computations read several double fields,
+// compute, and write results back — the read-early/write-late + blocking
+// pattern the paper's Figure 11(a) shows for this benchmark.
+//
+// Determinism note: cross-fiber reduction goes through an *integer* shared
+// counter (fixed-point, 1/256 units) so the checksum is independent of the
+// order in which forall iterations commit.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *earthccPowerSource = R"EARTH(
+// ---- Olden power, EARTH-C dialect ---------------------------------------
+
+struct Leaf {
+  double pi; double qi;
+  double alpha; double beta;
+  Leaf *next;
+};
+
+struct Branch {
+  double r; double x;
+  double pin; double qin;
+  double alpha; double beta;
+  Leaf *leaves;
+  Branch *next;
+};
+
+struct Lateral {
+  double r; double x;
+  double pin; double qin;
+  Branch *branches;
+  Lateral *next;
+};
+
+struct Feeder {
+  double pin; double qin;
+  Lateral *laterals;
+  Feeder *next;
+};
+
+struct Root {
+  double price;
+  Feeder *feeders;
+};
+
+Leaf *make_leaves(int n, int where) {
+  Leaf *head; Leaf *l; int i;
+  head = NULL;
+  for (i = 0; i < n; i = i + 1) {
+    l = pmalloc(sizeof(Leaf))@node(where);
+    l->pi = 1.0 + i * 0.125;
+    l->qi = 0.5 + i * 0.0625;
+    l->alpha = 0.75;
+    l->beta = 0.25;
+    l->next = head;
+    head = l;
+  }
+  return head;
+}
+
+Branch *make_branches(int n, int nleaf, int where) {
+  Branch *head; Branch *b; int i;
+  head = NULL;
+  for (i = 0; i < n; i = i + 1) {
+    b = pmalloc(sizeof(Branch))@node(where);
+    b->r = 0.001953125;
+    b->x = 0.00390625;
+    b->pin = 0.0;
+    b->qin = 0.0;
+    b->alpha = 0.5;
+    b->beta = 0.5;
+    b->leaves = make_leaves(nleaf, where);
+    b->next = head;
+    head = b;
+  }
+  return head;
+}
+
+Lateral *make_laterals(int n, int nbranch, int nleaf, int where) {
+  Lateral *head; Lateral *la; int i;
+  head = NULL;
+  for (i = 0; i < n; i = i + 1) {
+    la = pmalloc(sizeof(Lateral))@node(where);
+    la->r = 0.0009765625;
+    la->x = 0.001953125;
+    la->pin = 0.0;
+    la->qin = 0.0;
+    la->branches = make_branches(nbranch, nleaf, where);
+    la->next = head;
+    head = la;
+  }
+  return head;
+}
+
+// Each feeder subtree is constructed *at* its owner so that the build's
+// stores are node-local (the paper's benchmarks use the best data
+// distribution the authors found; building in place is part of that).
+Feeder *make_feeder(int nlat, int nbranch, int nleaf, int where) {
+  Feeder *f;
+  f = pmalloc(sizeof(Feeder))@node(where);
+  f->pin = 0.0;
+  f->qin = 0.0;
+  f->laterals = make_laterals(nlat, nbranch, nleaf, where);
+  return f;
+}
+
+// Builds feeders [lo, hi) as a list, recursively in parallel.
+Feeder *build_feeders(int lo, int hi, int nlat, int nbranch, int nleaf) {
+  Feeder *a; Feeder *b; Feeder *f;
+  int mid; int nn; int where;
+  if (lo >= hi) { return NULL; }
+  nn = num_nodes();
+  if (hi - lo == 1) {
+    where = lo % nn;
+    f = make_feeder(nlat, nbranch, nleaf, where)@node(where);
+    f->next = NULL;
+    return f;
+  }
+  mid = (lo + hi) / 2;
+  {^
+    a = build_feeders(lo, mid, nlat, nbranch, nleaf);
+    b = build_feeders(mid, hi, nlat, nbranch, nleaf);
+  ^}
+  f = a;
+  while (f->next != NULL) { f = f->next; }
+  f->next = b;
+  return a;
+}
+
+Root *build(int nfeeder, int nlat, int nbranch, int nleaf) {
+  Root *root;
+  root = pmalloc(sizeof(Root))@node(0);
+  root->price = 1.0;
+  root->feeders = build_feeders(0, nfeeder, nlat, nbranch, nleaf);
+  return root;
+}
+
+// One leaf: read demand + coefficients, update demand from the price.
+double compute_leaf(Leaf *l, double price) {
+  double p; double q; double a; double b; double np; double nq;
+  p = l->pi;
+  q = l->qi;
+  a = l->alpha;
+  b = l->beta;
+  np = a * p + b * q - 0.015625 * price;
+  nq = q * 0.984375;
+  if (np < 0.0) { np = 0.0; }
+  l->pi = np;
+  l->qi = nq;
+  return np + nq;
+}
+
+// One branch: reads r/x/alpha/beta early, accumulates over its leaves,
+// writes pin/qin/alpha/beta back late (Figure 11(a) shape).
+double compute_branch(Branch *br, double price) {
+  double r; double x; double a; double b;
+  double total; double t;
+  Leaf *l;
+  r = br->r;
+  x = br->x;
+  a = br->alpha;
+  b = br->beta;
+  total = 0.0;
+  l = br->leaves;
+  while (l != NULL) {
+    t = compute_leaf(l, price);
+    total = total + t;
+    l = l->next;
+  }
+  br->pin = total + r * total * total;
+  br->qin = total * 0.5 + x * total * total;
+  br->alpha = a * 0.984375;
+  br->beta = b * 0.984375;
+  return total + r * total * total;
+}
+
+double compute_lateral(Lateral *la, double price) {
+  double r; double x;
+  double total; double t;
+  Branch *b;
+  r = la->r;
+  x = la->x;
+  total = 0.0;
+  b = la->branches;
+  while (b != NULL) {
+    t = compute_branch(b, price);
+    total = total + t;
+    b = b->next;
+  }
+  la->pin = total + r * total * total;
+  la->qin = total * 0.5 + x * total * total;
+  return total + r * total * total;
+}
+
+double compute_feeder(Feeder *f, double price) {
+  double total; double t;
+  Lateral *la;
+  total = 0.0;
+  la = f->laterals;
+  while (la != NULL) {
+    t = compute_lateral(la, price);
+    total = total + t;
+    la = la->next;
+  }
+  f->pin = total;
+  f->qin = total * 0.5;
+  return total;
+}
+
+int main() {
+  Root *root;
+  Feeder *f;
+  shared int sum;
+  double price; double t;
+  int iter; int si; int check;
+  root = build(16, 4, 4, 4);
+  price = 1.0;
+  for (iter = 0; iter < 4; iter = iter + 1) {
+    writeto(&sum, 0);
+    forall (f = root->feeders; f != NULL; f = f->next) {
+      double ft; int ti;
+      ft = compute_feeder(f, price)@OWNER_OF(f);
+      ti = ft * 256.0;
+      addto(&sum, ti);
+    }
+    si = valueof(&sum);
+    // Price feedback in exact powers of two: deterministic at any node
+    // count and iteration order.
+    price = price + (262144 - si) * 0.0000152587890625;
+    if (price < 0.0) { price = 0.0; }
+  }
+  check = price * 4096.0;
+  return check + si % 100000;
+}
+)EARTH";

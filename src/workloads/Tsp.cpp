@@ -1,0 +1,170 @@
+//===- Tsp.cpp - The Olden "tsp" benchmark in EARTH-C ----------------------===//
+//
+// Part of the earthcc project.
+//
+// Sub-optimal traveling-salesperson tour: cities live in a balanced binary
+// space-partition tree; tsp() conquers subtrees into circular doubly-linked
+// subtours in parallel and merges them by cheapest-splice scans. The scan
+// loop reads x, y and next of each tour city — three fields of one pointer,
+// which the optimizer blocks — while the repeated reads of the spliced
+// cycle's representative point exercise redundant-communication
+// elimination and pipelining, the effects the paper reports for tsp.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *earthccTspSource = R"EARTH(
+// ---- Olden tsp, EARTH-C dialect -------------------------------------------
+
+struct City {
+  double x; double y;
+  City *left;
+  City *right;
+  City *next;
+  City *prev;
+};
+
+int childwhere(int where, int k, int depth) {
+  if (depth >= 6) {
+    return (where * 2 + k + 1) % num_nodes();
+  }
+  return where;
+}
+
+// Balanced BSP tree over [xlo, xhi); y from a deterministic LCG.
+City *build_tree(int depth, double xlo, double xhi, int seed, int where) {
+  City *c;
+  int s; int w0; int w1;
+  double mid;
+  if (depth == 0) { return NULL; }
+  s = (seed * 1103515245 + 12345) % 2147483648;
+  if (s < 0) { s = -s; }
+  mid = (xlo + xhi) * 0.5;
+  c = pmalloc(sizeof(City))@node(where);
+  c->x = mid;
+  c->y = (s % 1024) * 0.25;
+  c->next = NULL;
+  c->prev = NULL;
+  // Subtrees are built at their owners (node-local stores), in parallel
+  // at the spread levels.
+  w0 = childwhere(where, 0, depth);
+  w1 = childwhere(where, 1, depth);
+  if (depth >= 5) {
+    {^
+      c->left = build_tree(depth - 1, xlo, mid, s + 1, w0)@node(w0);
+      c->right = build_tree(depth - 1, mid, xhi, s + 2, w1)@node(w1);
+    ^}
+  } else {
+    c->left = build_tree(depth - 1, xlo, mid, s + 1, w0)@node(w0);
+    c->right = build_tree(depth - 1, mid, xhi, s + 2, w1)@node(w1);
+  }
+  return c;
+}
+
+// Splice cycle b into cycle a after the city of a closest to b's
+// representative point. The scan reads u->x, u->y, u->next per city; like
+// Olden's close-point heuristic it examines a bounded window of the tour
+// (this is a *sub-optimal* tour construction by design).
+City *splice(City *a, City *b) {
+  City *u; City *best; City *un; City *bp;
+  double bd; double d; double dx; double dy;
+  double bx; double by;
+  int scanned;
+  bx = b->x;
+  by = b->y;
+  best = a;
+  bd = 100000000.0;
+  u = a;
+  scanned = 0;
+  do {
+    dx = u->x - bx;
+    dy = u->y - by;
+    d = dx * dx + dy * dy;
+    if (d < bd) {
+      bd = d;
+      best = u;
+    }
+    u = u->next;
+    scanned = scanned + 1;
+  } while (u != a && scanned < 32);
+  un = best->next;
+  bp = b->prev;
+  best->next = b;
+  b->prev = best;
+  bp->next = un;
+  un->prev = bp;
+  return a;
+}
+
+// Conquer the subtree rooted at t into a circular tour.
+City *tsp(City *t, int depth) {
+  City *a; City *b; City *cyc;
+  City *l; City *r;
+  if (t == NULL) { return NULL; }
+  l = t->left;
+  r = t->right;
+  if (depth > 0 && l != NULL && r != NULL) {
+    {^
+      a = tsp(l, depth - 1)@OWNER_OF(l);
+      b = tsp(r, depth - 1)@OWNER_OF(r);
+    ^}
+  } else {
+    a = tsp(l, 0);
+    b = tsp(r, 0);
+  }
+  t->next = t;
+  t->prev = t;
+  cyc = t;
+  if (a != NULL) { cyc = splice(a, cyc); }
+  if (b != NULL) { cyc = splice(cyc, b); }
+  return cyc;
+}
+
+// Validates (in parallel, at the owners) that every city was linked into
+// the tour: each must have non-null next and prev.
+int check_linked(City *t, int depth) {
+  int c; int cl; int cr;
+  City *l; City *r;
+  if (t == NULL) { return 0; }
+  c = 0;
+  if (t->next != NULL) { c = c + 1; }
+  if (t->prev != NULL) { c = c + 1; }
+  l = t->left;
+  r = t->right;
+  if (depth > 0 && l != NULL && r != NULL) {
+    {^
+      cl = check_linked(l, depth - 1)@OWNER_OF(l);
+      cr = check_linked(r, depth - 1)@OWNER_OF(r);
+    ^}
+  } else {
+    cl = check_linked(l, 0);
+    cr = check_linked(r, 0);
+  }
+  return c + cl + cr;
+}
+
+int main() {
+  City *root; City *cyc; City *p; City *q;
+  double len; double dx; double dy;
+  int hops; int linked; int check;
+  root = build_tree(10, 0.0, 256.0, 7, 0);
+  cyc = tsp(root, 5);
+  linked = check_linked(root, 5);
+  // Sample the tour length over a bounded prefix (the full walk would be
+  // a purely serial remote pointer chase irrelevant to the benchmark).
+  len = 0.0;
+  hops = 0;
+  p = cyc;
+  do {
+    q = p->next;
+    dx = p->x - q->x;
+    dy = p->y - q->y;
+    len = len + sqrt(dx * dx + dy * dy);
+    hops = hops + 1;
+    p = q;
+  } while (p != cyc && hops < 64);
+  check = len * 0.0625;
+  return linked * 10000 + check % 10000;
+}
+)EARTH";

@@ -1,0 +1,174 @@
+//===- Voronoi.cpp - The Olden "voronoi" benchmark in EARTH-C --------------===//
+//
+// Part of the earthcc project.
+//
+// Substitution note (see DESIGN.md): Olden's voronoi builds a Voronoi
+// diagram with the Guibas-Stolfi quad-edge divide-and-conquer algorithm.
+// We reproduce the *communication-relevant* structure — points stored in a
+// distributed binary tree, recursive divide-and-conquer over the two
+// subtrees in parallel, and a merge phase that walks the two sub-results
+// in an irregular alternating fashion, repeatedly reading point
+// coordinates through pointers — using a y-ordered merge with
+// closest-adjacent-pair tracking in place of the quad-edge hull walk. The
+// dynamic access pattern (alternating remote reads of x/y/link fields of
+// two interleaved lists) is what the paper's optimization targets in this
+// benchmark (redundancy elimination + blocking).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+const char *earthccVoronoiSource = R"EARTH(
+// ---- Olden voronoi (D&C geometric merge), EARTH-C dialect -----------------
+
+struct Pt {
+  double x; double y;
+  Pt *left;
+  Pt *right;
+  Pt *hnext;
+};
+
+int childwhere(int where, int k, int depth) {
+  if (depth >= 6) {
+    return (where * 2 + k + 1) % num_nodes();
+  }
+  return where;
+}
+
+Pt *build_tree(int depth, double xlo, double xhi, int seed, int where) {
+  Pt *c;
+  int s; int w0; int w1;
+  double mid;
+  if (depth == 0) { return NULL; }
+  s = (seed * 1103515245 + 12345) % 2147483648;
+  if (s < 0) { s = -s; }
+  mid = (xlo + xhi) * 0.5;
+  c = pmalloc(sizeof(Pt))@node(where);
+  c->x = mid;
+  c->y = (s % 4096) * 0.0625;
+  c->hnext = NULL;
+  // Subtrees are built at their owners (node-local stores), in parallel
+  // at the spread levels.
+  w0 = childwhere(where, 0, depth);
+  w1 = childwhere(where, 1, depth);
+  if (depth >= 5) {
+    {^
+      c->left = build_tree(depth - 1, xlo, mid, s + 1, w0)@node(w0);
+      c->right = build_tree(depth - 1, mid, xhi, s + 2, w1)@node(w1);
+    ^}
+  } else {
+    c->left = build_tree(depth - 1, xlo, mid, s + 1, w0)@node(w0);
+    c->right = build_tree(depth - 1, mid, xhi, s + 2, w1)@node(w1);
+  }
+  return c;
+}
+
+// Merge two y-sorted chains, walking them alternately. The loop's reads of
+// a->y / b->y / tail->hnext are the irregular alternating accesses.
+Pt *merge_chains(Pt *a, Pt *b) {
+  Pt *head; Pt *tail;
+  double ay; double by;
+  if (a == NULL) { return b; }
+  if (b == NULL) { return a; }
+  ay = a->y;
+  by = b->y;
+  if (ay <= by) {
+    head = a;
+    a = a->hnext;
+  } else {
+    head = b;
+    b = b->hnext;
+  }
+  tail = head;
+  while (a != NULL && b != NULL) {
+    ay = a->y;
+    by = b->y;
+    if (ay <= by) {
+      tail->hnext = a;
+      tail = a;
+      a = a->hnext;
+    } else {
+      tail->hnext = b;
+      tail = b;
+      b = b->hnext;
+    }
+  }
+  if (a != NULL) {
+    tail->hnext = a;
+  } else {
+    tail->hnext = b;
+  }
+  return head;
+}
+
+// The merged walk is thinned to a bounded "hull" before being passed up,
+// mirroring how the quad-edge merge only walks the sub-diagrams' hulls
+// (whose size is far below the subtree size).
+Pt *thin_chain(Pt *m) {
+  Pt *p; Pt *q;
+  int n;
+  p = m;
+  n = 1;
+  while (p != NULL) {
+    q = p->hnext;
+    if (n >= 32) {
+      p->hnext = NULL;
+      return m;
+    }
+    if (q != NULL && n % 2 == 0) {
+      // Drop every other element beyond the head section.
+      p->hnext = q->hnext;
+    }
+    p = p->hnext;
+    n = n + 1;
+  }
+  return m;
+}
+
+// Divide and conquer: build the y-ordered "diagram walk" of the subtree.
+Pt *voronoi_dc(Pt *t, int depth) {
+  Pt *a; Pt *b; Pt *m;
+  Pt *l; Pt *r;
+  if (t == NULL) { return NULL; }
+  l = t->left;
+  r = t->right;
+  if (depth > 0 && l != NULL && r != NULL) {
+    {^
+      a = voronoi_dc(l, depth - 1)@OWNER_OF(l);
+      b = voronoi_dc(r, depth - 1)@OWNER_OF(r);
+    ^}
+  } else {
+    a = voronoi_dc(l, 0);
+    b = voronoi_dc(r, 0);
+  }
+  t->hnext = NULL;
+  m = merge_chains(a, t);
+  m = merge_chains(m, b);
+  return thin_chain(m);
+}
+
+int main() {
+  Pt *root; Pt *m; Pt *p; Pt *q;
+  double dx; double dy; double d; double mind;
+  int count; int check;
+  root = build_tree(10, 0.0, 512.0, 13, 0);
+  m = voronoi_dc(root, 5);
+  // Walk the merged diagram: count points, track the closest adjacent pair.
+  count = 0;
+  mind = 100000000.0;
+  p = m;
+  while (p != NULL) {
+    q = p->hnext;
+    if (q != NULL) {
+      dx = p->x - q->x;
+      dy = p->y - q->y;
+      d = dx * dx + dy * dy;
+      if (d < mind) { mind = d; }
+    }
+    count = count + 1;
+    p = q;
+  }
+  check = sqrt(mind) * 256.0;
+  return count * 100000 + check % 100000;
+}
+)EARTH";

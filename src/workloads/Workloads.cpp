@@ -1,0 +1,73 @@
+//===- Workloads.cpp - Benchmark registry and run harness ------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Workloads.h"
+
+using namespace earthcc;
+
+// Benchmark sources (one translation unit each; see the per-file comments).
+extern const char *earthccPowerSource;
+extern const char *earthccPerimeterSource;
+extern const char *earthccTspSource;
+extern const char *earthccHealthSource;
+extern const char *earthccVoronoiSource;
+
+const std::vector<Workload> &earthcc::oldenWorkloads() {
+  static const std::vector<Workload> Workloads = {
+      {"power",
+       "Power system optimization over a variable k-nary tree",
+       "10,000 leaves", "512 leaves (8 feeders x 4 x 4 x 4), 4 iterations",
+       "blocking of per-node field reads/writes", earthccPowerSource},
+      {"perimeter",
+       "Perimeter of a quad-tree encoded raster image",
+       "maximum tree depth 11", "tree depth 6 (up to 4096 leaves)",
+       "blocking (blkmov replaces child-pointer reads)",
+       earthccPerimeterSource},
+      {"tsp",
+       "Sub-optimal traveling-salesperson tour over a point tree",
+       "32K cities", "256 cities",
+       "redundant communication elimination + pipelining", earthccTspSource},
+      {"health",
+       "Colombian health-care simulation over a 4-way village tree",
+       "4 levels, 600 iterations", "4 levels (85 villages), 24 iterations",
+       "pipelining + redundancy elimination", earthccHealthSource},
+      {"voronoi",
+       "Divide-and-conquer geometric merge over a point tree",
+       "32K points", "512 points",
+       "redundancy elimination + blocking", earthccVoronoiSource},
+  };
+  return Workloads;
+}
+
+const Workload *earthcc::findWorkload(const std::string &Name) {
+  for (const Workload &W : oldenWorkloads())
+    if (W.Name == Name)
+      return &W;
+  return nullptr;
+}
+
+RunResult earthcc::runWorkload(const Workload &W, RunMode Mode,
+                               unsigned Nodes, const CommOptions &Comm) {
+  MachineConfig MC;
+  CompileOptions CO;
+  CO.Comm = Comm;
+  switch (Mode) {
+  case RunMode::Sequential:
+    MC.NumNodes = 1;
+    MC.SequentialMode = true;
+    CO.Optimize = false;
+    break;
+  case RunMode::Simple:
+    MC.NumNodes = Nodes;
+    CO.Optimize = false;
+    break;
+  case RunMode::Optimized:
+    MC.NumNodes = Nodes;
+    CO.Optimize = true;
+    break;
+  }
+  return compileAndRun(W.Source, MC, CO);
+}

@@ -1,0 +1,61 @@
+//===- Workloads.h - The Olden benchmarks in EARTH-C ------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's benchmark suite (Table II) rewritten in our EARTH-C dialect:
+/// power, perimeter, tsp, health and voronoi — all pointer-based programs
+/// over dynamically allocated trees and lists, parallelized with parallel
+/// sequences / forall and placed calls, and distributed with pmalloc@node.
+///
+/// Problem sizes are scaled to simulator scale; the per-benchmark notes
+/// record the paper's original sizes. Each program's main() returns a
+/// deterministic checksum that must be identical for the sequential,
+/// simple (unoptimized parallel) and optimized versions at every node
+/// count — the harness and tests verify this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_WORKLOADS_WORKLOADS_H
+#define EARTHCC_WORKLOADS_WORKLOADS_H
+
+#include "driver/Driver.h"
+
+#include <string>
+#include <vector>
+
+namespace earthcc {
+
+/// One benchmark program.
+struct Workload {
+  std::string Name;
+  std::string Description;   ///< Table II description.
+  std::string PaperSize;     ///< Problem size the paper used.
+  std::string OurSize;       ///< Scaled size we run.
+  std::string Optimization;  ///< Which comm optimizations dominate (paper).
+  std::string Source;        ///< EARTH-C source text.
+};
+
+/// The five Olden benchmarks (power, perimeter, tsp, health, voronoi).
+const std::vector<Workload> &oldenWorkloads();
+
+/// Finds a workload by name (nullptr if unknown).
+const Workload *findWorkload(const std::string &Name);
+
+/// How a benchmark run is configured.
+enum class RunMode {
+  Sequential, ///< Pure C baseline: 1 node, no EARTH operations at all.
+  Simple,     ///< Parallel, no communication optimization.
+  Optimized   ///< Parallel, communication optimization enabled.
+};
+
+/// Compiles and runs \p W under \p Mode on \p Nodes nodes.
+RunResult runWorkload(const Workload &W, RunMode Mode, unsigned Nodes,
+                      const CommOptions &Comm = {});
+
+} // namespace earthcc
+
+#endif // EARTHCC_WORKLOADS_WORKLOADS_H

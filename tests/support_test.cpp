@@ -1,0 +1,75 @@
+//===- support_test.cpp - Unit tests for the support library --------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Diagnostics.h"
+#include "support/Statistics.h"
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace earthcc;
+
+TEST(SourceLocTest, InvalidByDefault) {
+  SourceLoc Loc;
+  EXPECT_FALSE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "<unknown>");
+}
+
+TEST(SourceLocTest, Format) {
+  SourceLoc Loc(3, 14);
+  EXPECT_TRUE(Loc.isValid());
+  EXPECT_EQ(Loc.str(), "3:14");
+}
+
+TEST(DiagnosticsTest, CountsErrorsOnly) {
+  DiagnosticsEngine Diags;
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.warning(SourceLoc(1, 1), "just a warning");
+  EXPECT_FALSE(Diags.hasErrors());
+  Diags.error(SourceLoc(2, 5), "boom");
+  Diags.note(SourceLoc(2, 6), "note");
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_EQ(Diags.errorCount(), 1u);
+  EXPECT_EQ(Diags.all().size(), 3u);
+}
+
+TEST(DiagnosticsTest, Rendering) {
+  DiagnosticsEngine Diags;
+  Diags.error(SourceLoc(7, 3), "unexpected token");
+  EXPECT_EQ(Diags.all()[0].str(), "7:3: error: unexpected token");
+}
+
+TEST(StatisticsTest, AccumulatesAndRenders) {
+  Statistics Stats;
+  Stats.add("comm.reads", 2);
+  Stats.add("comm.reads");
+  Stats.add("comm.writes", 5);
+  EXPECT_EQ(Stats.get("comm.reads"), 3u);
+  EXPECT_EQ(Stats.get("comm.writes"), 5u);
+  EXPECT_EQ(Stats.get("missing"), 0u);
+  EXPECT_EQ(Stats.str(), "comm.reads = 3\ncomm.writes = 5\n");
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "22"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find("| name   | value |"), std::string::npos);
+  EXPECT_NE(Out.find("| longer | 22    |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, PadsShortRows) {
+  TablePrinter T({"a", "b", "c"});
+  T.addRow({"1"});
+  std::string Out = T.str();
+  EXPECT_NE(Out.find("| 1 |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, FormatsDoubles) {
+  EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::fmt(2.0, 1), "2.0");
+}
