@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_compiler.cpp" "bench/CMakeFiles/bench_compiler.dir/bench_compiler.cpp.o" "gcc" "bench/CMakeFiles/bench_compiler.dir/bench_compiler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workloads/CMakeFiles/earthcc_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/earthcc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/earthcc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/earthcc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/earthcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/earthcc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/simple/CMakeFiles/earthcc_simple.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/earthcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc.dir/earthcc_main.cpp.o"
+  "CMakeFiles/earthcc.dir/earthcc_main.cpp.o.d"
+  "earthcc"
+  "earthcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

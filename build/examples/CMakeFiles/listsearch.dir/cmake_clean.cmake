@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/listsearch.dir/listsearch.cpp.o"
+  "CMakeFiles/listsearch.dir/listsearch.cpp.o.d"
+  "listsearch"
+  "listsearch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/listsearch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treesum.dir/treesum.cpp.o"
+  "CMakeFiles/treesum.dir/treesum.cpp.o.d"
+  "treesum"
+  "treesum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treesum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

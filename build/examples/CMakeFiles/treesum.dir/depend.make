@@ -1,0 +1,2 @@
+# Empty dependencies file for treesum.
+# This may be replaced when dependencies are built.

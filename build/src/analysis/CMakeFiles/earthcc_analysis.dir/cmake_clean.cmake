@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_analysis.dir/Locality.cpp.o"
+  "CMakeFiles/earthcc_analysis.dir/Locality.cpp.o.d"
+  "CMakeFiles/earthcc_analysis.dir/Placement.cpp.o"
+  "CMakeFiles/earthcc_analysis.dir/Placement.cpp.o.d"
+  "CMakeFiles/earthcc_analysis.dir/PointsTo.cpp.o"
+  "CMakeFiles/earthcc_analysis.dir/PointsTo.cpp.o.d"
+  "CMakeFiles/earthcc_analysis.dir/SideEffects.cpp.o"
+  "CMakeFiles/earthcc_analysis.dir/SideEffects.cpp.o.d"
+  "libearthcc_analysis.a"
+  "libearthcc_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

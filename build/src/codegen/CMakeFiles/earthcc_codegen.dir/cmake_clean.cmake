@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_codegen.dir/ThreadedC.cpp.o"
+  "CMakeFiles/earthcc_codegen.dir/ThreadedC.cpp.o.d"
+  "libearthcc_codegen.a"
+  "libearthcc_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_driver.dir/Driver.cpp.o"
+  "CMakeFiles/earthcc_driver.dir/Driver.cpp.o.d"
+  "libearthcc_driver.a"
+  "libearthcc_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_frontend.dir/Lexer.cpp.o"
+  "CMakeFiles/earthcc_frontend.dir/Lexer.cpp.o.d"
+  "CMakeFiles/earthcc_frontend.dir/Parser.cpp.o"
+  "CMakeFiles/earthcc_frontend.dir/Parser.cpp.o.d"
+  "CMakeFiles/earthcc_frontend.dir/Simplify.cpp.o"
+  "CMakeFiles/earthcc_frontend.dir/Simplify.cpp.o.d"
+  "libearthcc_frontend.a"
+  "libearthcc_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libearthcc_frontend.a"
+)

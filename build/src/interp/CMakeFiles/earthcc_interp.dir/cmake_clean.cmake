@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_interp.dir/Interp.cpp.o"
+  "CMakeFiles/earthcc_interp.dir/Interp.cpp.o.d"
+  "libearthcc_interp.a"
+  "libearthcc_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simple/Function.cpp" "src/simple/CMakeFiles/earthcc_simple.dir/Function.cpp.o" "gcc" "src/simple/CMakeFiles/earthcc_simple.dir/Function.cpp.o.d"
+  "/root/repo/src/simple/IRBuilder.cpp" "src/simple/CMakeFiles/earthcc_simple.dir/IRBuilder.cpp.o" "gcc" "src/simple/CMakeFiles/earthcc_simple.dir/IRBuilder.cpp.o.d"
+  "/root/repo/src/simple/Printer.cpp" "src/simple/CMakeFiles/earthcc_simple.dir/Printer.cpp.o" "gcc" "src/simple/CMakeFiles/earthcc_simple.dir/Printer.cpp.o.d"
+  "/root/repo/src/simple/Stmt.cpp" "src/simple/CMakeFiles/earthcc_simple.dir/Stmt.cpp.o" "gcc" "src/simple/CMakeFiles/earthcc_simple.dir/Stmt.cpp.o.d"
+  "/root/repo/src/simple/Type.cpp" "src/simple/CMakeFiles/earthcc_simple.dir/Type.cpp.o" "gcc" "src/simple/CMakeFiles/earthcc_simple.dir/Type.cpp.o.d"
+  "/root/repo/src/simple/Verifier.cpp" "src/simple/CMakeFiles/earthcc_simple.dir/Verifier.cpp.o" "gcc" "src/simple/CMakeFiles/earthcc_simple.dir/Verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/earthcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_simple.dir/Function.cpp.o"
+  "CMakeFiles/earthcc_simple.dir/Function.cpp.o.d"
+  "CMakeFiles/earthcc_simple.dir/IRBuilder.cpp.o"
+  "CMakeFiles/earthcc_simple.dir/IRBuilder.cpp.o.d"
+  "CMakeFiles/earthcc_simple.dir/Printer.cpp.o"
+  "CMakeFiles/earthcc_simple.dir/Printer.cpp.o.d"
+  "CMakeFiles/earthcc_simple.dir/Stmt.cpp.o"
+  "CMakeFiles/earthcc_simple.dir/Stmt.cpp.o.d"
+  "CMakeFiles/earthcc_simple.dir/Type.cpp.o"
+  "CMakeFiles/earthcc_simple.dir/Type.cpp.o.d"
+  "CMakeFiles/earthcc_simple.dir/Verifier.cpp.o"
+  "CMakeFiles/earthcc_simple.dir/Verifier.cpp.o.d"
+  "libearthcc_simple.a"
+  "libearthcc_simple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

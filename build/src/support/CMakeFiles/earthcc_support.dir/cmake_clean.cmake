@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_support.dir/Diagnostics.cpp.o"
+  "CMakeFiles/earthcc_support.dir/Diagnostics.cpp.o.d"
+  "CMakeFiles/earthcc_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/earthcc_support.dir/TablePrinter.cpp.o.d"
+  "libearthcc_support.a"
+  "libearthcc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

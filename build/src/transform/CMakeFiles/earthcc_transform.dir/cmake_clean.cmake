@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_transform.dir/CommSelection.cpp.o"
+  "CMakeFiles/earthcc_transform.dir/CommSelection.cpp.o.d"
+  "libearthcc_transform.a"
+  "libearthcc_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

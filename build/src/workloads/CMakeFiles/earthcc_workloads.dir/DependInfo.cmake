@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/Health.cpp" "src/workloads/CMakeFiles/earthcc_workloads.dir/Health.cpp.o" "gcc" "src/workloads/CMakeFiles/earthcc_workloads.dir/Health.cpp.o.d"
+  "/root/repo/src/workloads/Perimeter.cpp" "src/workloads/CMakeFiles/earthcc_workloads.dir/Perimeter.cpp.o" "gcc" "src/workloads/CMakeFiles/earthcc_workloads.dir/Perimeter.cpp.o.d"
+  "/root/repo/src/workloads/Power.cpp" "src/workloads/CMakeFiles/earthcc_workloads.dir/Power.cpp.o" "gcc" "src/workloads/CMakeFiles/earthcc_workloads.dir/Power.cpp.o.d"
+  "/root/repo/src/workloads/Tsp.cpp" "src/workloads/CMakeFiles/earthcc_workloads.dir/Tsp.cpp.o" "gcc" "src/workloads/CMakeFiles/earthcc_workloads.dir/Tsp.cpp.o.d"
+  "/root/repo/src/workloads/Voronoi.cpp" "src/workloads/CMakeFiles/earthcc_workloads.dir/Voronoi.cpp.o" "gcc" "src/workloads/CMakeFiles/earthcc_workloads.dir/Voronoi.cpp.o.d"
+  "/root/repo/src/workloads/Workloads.cpp" "src/workloads/CMakeFiles/earthcc_workloads.dir/Workloads.cpp.o" "gcc" "src/workloads/CMakeFiles/earthcc_workloads.dir/Workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/earthcc_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/earthcc_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/earthcc_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/earthcc_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/earthcc_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/simple/CMakeFiles/earthcc_simple.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/earthcc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

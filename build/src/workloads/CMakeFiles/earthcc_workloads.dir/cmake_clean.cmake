@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/earthcc_workloads.dir/Health.cpp.o"
+  "CMakeFiles/earthcc_workloads.dir/Health.cpp.o.d"
+  "CMakeFiles/earthcc_workloads.dir/Perimeter.cpp.o"
+  "CMakeFiles/earthcc_workloads.dir/Perimeter.cpp.o.d"
+  "CMakeFiles/earthcc_workloads.dir/Power.cpp.o"
+  "CMakeFiles/earthcc_workloads.dir/Power.cpp.o.d"
+  "CMakeFiles/earthcc_workloads.dir/Tsp.cpp.o"
+  "CMakeFiles/earthcc_workloads.dir/Tsp.cpp.o.d"
+  "CMakeFiles/earthcc_workloads.dir/Voronoi.cpp.o"
+  "CMakeFiles/earthcc_workloads.dir/Voronoi.cpp.o.d"
+  "CMakeFiles/earthcc_workloads.dir/Workloads.cpp.o"
+  "CMakeFiles/earthcc_workloads.dir/Workloads.cpp.o.d"
+  "libearthcc_workloads.a"
+  "libearthcc_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/earthcc_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(support_test "/root/repo/build/tests/support_test")
+set_tests_properties(support_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;9;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(ir_test "/root/repo/build/tests/ir_test")
+set_tests_properties(ir_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;10;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(frontend_test "/root/repo/build/tests/frontend_test")
+set_tests_properties(frontend_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;11;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(placement_test "/root/repo/build/tests/placement_test")
+set_tests_properties(placement_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;12;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(selection_test "/root/repo/build/tests/selection_test")
+set_tests_properties(selection_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;13;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(interp_test "/root/repo/build/tests/interp_test")
+set_tests_properties(interp_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;14;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(pointsto_test "/root/repo/build/tests/pointsto_test")
+set_tests_properties(pointsto_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;15;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(workloads_test "/root/repo/build/tests/workloads_test")
+set_tests_properties(workloads_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;16;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;17;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(locality_test "/root/repo/build/tests/locality_test")
+set_tests_properties(locality_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;18;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(codegen_test "/root/repo/build/tests/codegen_test")
+set_tests_properties(codegen_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;6;add_test;/root/repo/tests/CMakeLists.txt;19;earthcc_add_test;/root/repo/tests/CMakeLists.txt;0;")
