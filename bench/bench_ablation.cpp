@@ -49,12 +49,11 @@ void runSweep(const char *Title, const std::vector<Config> &Configs,
               std::to_string(S.Counters.WriteData),
               std::to_string(S.Counters.BlkMov), "0.00"});
     for (const Config &C : Configs) {
-      CompileOptions CO;
-      CO.Comm = C.Comm;
-      CO.InferLocality = C.InferLocality;
-      MachineConfig MC;
-      MC.NumNodes = Nodes;
-      RunResult O = compileAndRun(W->Source, MC, CO);
+      PipelineOptions PO = workloadOptions(RunMode::Optimized, C.Comm);
+      PO.InferLocality = C.InferLocality;
+      Pipeline P(PO);
+      RunResult O = P.run(P.compile(W->Source),
+                          workloadMachine(RunMode::Optimized, Nodes));
       if (!O.OK) {
         std::fprintf(stderr, "%s/%s failed: %s\n", Name.c_str(),
                      C.Name.c_str(), O.Error.c_str());

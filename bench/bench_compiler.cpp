@@ -11,10 +11,11 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Placement.h"
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
 #include "frontend/Simplify.h"
+#include "support/Trace.h"
 #include "workloads/Workloads.h"
 
 #include <benchmark/benchmark.h>
@@ -68,28 +69,60 @@ void BM_Analyses(benchmark::State &State) {
 BENCHMARK(BM_Analyses);
 
 void BM_FullPipelineNoOpt(benchmark::State &State) {
-  for (auto _ : State) {
-    CompileOptions CO;
-    CO.Optimize = false;
-    benchmark::DoNotOptimize(compileEarthC(healthSource(), CO));
-  }
+  Pipeline P(PipelineOptions::simple());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.compile(healthSource()));
 }
 BENCHMARK(BM_FullPipelineNoOpt);
 
 void BM_FullPipelineOptimized(benchmark::State &State) {
-  for (auto _ : State) {
-    CompileOptions CO;
-    benchmark::DoNotOptimize(compileEarthC(healthSource(), CO));
-  }
+  Pipeline P(PipelineOptions::optimized());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.compile(healthSource()));
 }
 BENCHMARK(BM_FullPipelineOptimized);
 
+/// The compiled health module, shared by the simulation benchmarks below
+/// so they measure the interpreter only (compile once, run N times).
+const CompileResult &healthModule() {
+  static const CompileResult CR =
+      Pipeline(PipelineOptions::optimized()).compile(healthSource());
+  return CR;
+}
+
 void BM_SimulateHealth1Node(benchmark::State &State) {
-  const Workload *W = findWorkload("health");
+  Pipeline P(PipelineOptions::optimized());
+  MachineConfig MC;
+  MC.NumNodes = 1;
   for (auto _ : State)
-    benchmark::DoNotOptimize(runWorkload(*W, RunMode::Optimized, 1));
+    benchmark::DoNotOptimize(P.run(healthModule(), MC));
 }
 BENCHMARK(BM_SimulateHealth1Node);
+
+// The pair below verifies the tracing guard: with a null sink the
+// interpreter's hot loop must cost the same as before the observability
+// layer (a never-taken branch per event site); the counter-sink variant
+// shows the enabled-path cost for comparison.
+void BM_SimulateHealth4NodesNullSink(benchmark::State &State) {
+  Pipeline P(PipelineOptions::optimized());
+  MachineConfig MC;
+  MC.NumNodes = 4;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.run(healthModule(), MC));
+}
+BENCHMARK(BM_SimulateHealth4NodesNullSink);
+
+void BM_SimulateHealth4NodesCounterSink(benchmark::State &State) {
+  Pipeline P(PipelineOptions::optimized());
+  MachineConfig MC;
+  MC.NumNodes = 4;
+  for (auto _ : State) {
+    CounterTraceSink Sink;
+    MC.Trace = &Sink;
+    benchmark::DoNotOptimize(P.run(healthModule(), MC));
+  }
+}
+BENCHMARK(BM_SimulateHealth4NodesCounterSink);
 
 } // namespace
 

@@ -37,8 +37,13 @@ int main() {
                   "blkmov", "total", "normalized"});
   bool AllOK = true;
   for (const Workload &W : oldenWorkloads()) {
-    RunResult S = runWorkload(W, RunMode::Simple, Nodes);
-    RunResult O = runWorkload(W, RunMode::Optimized, Nodes);
+    // Compile once per version, run through the Pipeline driver.
+    Pipeline SimpleP(workloadOptions(RunMode::Simple));
+    Pipeline OptP(workloadOptions(RunMode::Optimized));
+    RunResult S = SimpleP.run(SimpleP.compile(W.Source),
+                              workloadMachine(RunMode::Simple, Nodes));
+    RunResult O = OptP.run(OptP.compile(W.Source),
+                           workloadMachine(RunMode::Optimized, Nodes));
     if (!S.OK || !O.OK) {
       std::fprintf(stderr, "%s failed: %s%s\n", W.Name.c_str(),
                    S.Error.c_str(), O.Error.c_str());

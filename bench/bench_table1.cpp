@@ -17,10 +17,12 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "support/TablePrinter.h"
+#include "support/Trace.h"
 
 #include <cstdio>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -29,15 +31,19 @@ using namespace earthcc;
 namespace {
 
 /// Runs a 2-node microbenchmark and returns the per-op time over N ops,
-/// subtracting the time of a calibration run with Ops0 operations.
-double perOpTime(const std::string &Src, const std::string &SrcBase,
-                 int Ops) {
+/// subtracting the time of a calibration run with Ops0 operations. The
+/// measured (non-calibration) run feeds \p Sink when one is given, so the
+/// counter report reflects exactly the operations being timed.
+double perOpTime(const std::string &Src, const std::string &SrcBase, int Ops,
+                 TraceSink *Sink = nullptr) {
+  Pipeline P(PipelineOptions::simple());
   MachineConfig MC;
   MC.NumNodes = 2;
-  CompileOptions CO;
-  CO.Optimize = false;
-  RunResult Full = compileAndRun(Src, MC, CO);
-  RunResult Base = compileAndRun(SrcBase, MC, CO);
+  MC.Trace = Sink;
+  RunResult Full = P.compileAndRun(Src, MC);
+  MachineConfig BaseMC;
+  BaseMC.NumNodes = 2;
+  RunResult Base = P.compileAndRun(SrcBase, BaseMC);
   if (!Full.OK || !Base.OK) {
     std::fprintf(stderr, "microbenchmark failed: %s%s\n", Full.Error.c_str(),
                  Base.Error.c_str());
@@ -106,9 +112,20 @@ std::string writeProgram(int Reps) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   const int Reps = 1000;
   CostModel CM;
+
+  // --json OUT: also aggregate the measured runs through the counter sink
+  // and write the compact BENCH_comm.json perf artifact.
+  std::string JsonPath;
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--json" && I + 1 < argc)
+      JsonPath = argv[++I];
+  }
+  CounterTraceSink Counters;
+  TraceSink *Sink = JsonPath.empty() ? nullptr : &Counters;
 
   std::printf("Table I: Cost of communication on simulated EARTH-MANNA\n");
   std::printf("(microbenchmarks on 2 nodes, %d operations each; "
@@ -117,17 +134,17 @@ int main() {
               Reps);
 
   // Reads. Sequential: 8 dependent reads per iteration.
-  double SeqRead =
-      perOpTime(readProgram(Reps / 8, false), readProgram(0, false), Reps);
-  double PipeRead =
-      perOpTime(readProgram(Reps / 8, true), readProgram(0, true), Reps);
+  double SeqRead = perOpTime(readProgram(Reps / 8, false),
+                             readProgram(0, false), Reps, Sink);
+  double PipeRead = perOpTime(readProgram(Reps / 8, true),
+                              readProgram(0, true), Reps, Sink);
 
   // Writes. EARTH writes are fire-and-forget (only fiber settlement waits
   // on them), so "sequential" write latency comes from the calibrated
   // analytic model; the pipelined issue cost is measured.
   double SeqWrite = CM.sequentialWrite();
   double PipeWrite =
-      perOpTime(writeProgram(Reps / 8), writeProgram(0), Reps);
+      perOpTime(writeProgram(Reps / 8), writeProgram(0), Reps, Sink);
 
   // Blkmovs: the analytic one-word figures (validated in unit tests; the
   // optimizer benches measure multi-word blkmovs in context).
@@ -166,5 +183,32 @@ int main() {
   std::printf("\n=> blocked transfer wins from %d words on "
               "(paper threshold: 3)\n",
               Crossover);
+
+  if (!JsonPath.empty()) {
+    std::ofstream Out(JsonPath);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", JsonPath.c_str());
+      return 1;
+    }
+    char Buf[512];
+    std::snprintf(Buf, sizeof(Buf),
+                  "{\n"
+                  "  \"bench\": \"table1\",\n"
+                  "  \"nodes\": 2,\n"
+                  "  \"ops_per_microbench\": %d,\n"
+                  "  \"read_seq_ns\": %.1f, \"read_pipe_ns\": %.1f,\n"
+                  "  \"write_seq_ns\": %.1f, \"write_pipe_ns\": %.1f,\n"
+                  "  \"blkmov_seq_ns\": %.1f, \"blkmov_pipe_ns\": %.1f,\n"
+                  "  \"blocking_crossover_words\": %d,\n",
+                  Reps, SeqRead, PipeRead, SeqWrite, PipeWrite, SeqBlk,
+                  PipeBlk, Crossover);
+    Out << Buf;
+    Out << "  \"paper\": {\"read_seq_ns\": 7109, \"read_pipe_ns\": 1908, "
+           "\"write_seq_ns\": 6458, \"write_pipe_ns\": 1749, "
+           "\"blkmov_seq_ns\": 9700, \"blkmov_pipe_ns\": 2602, "
+           "\"blocking_crossover_words\": 3},\n";
+    Out << "  \"counters\": " << Counters.stats().json() << "\n}\n";
+    std::printf("\nwrote counter report to %s\n", JsonPath.c_str());
+  }
   return 0;
 }

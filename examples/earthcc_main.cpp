@@ -7,25 +7,29 @@
 //
 //   earthcc [options] program.ec
 //
-//   --nodes N      machine size (default 4)
-//   --no-opt       disable the communication optimization
-//   --seq          sequential-C baseline (1 node, no EARTH operations)
-//   --dump-ir      print the SIMPLE program before execution
-//   --stats        print optimizer statistics and dynamic counters
-//   --entry NAME   entry function (default main)
-//   --threshold W  blocking threshold in words (default 3)
+//   --nodes N           machine size (default 4)
+//   --no-opt            disable the communication optimization
+//   --seq               sequential-C baseline (1 node, no EARTH operations)
+//   --dump-ir           print the SIMPLE program before execution
+//   --dump-after-pass   print the SIMPLE program after every pipeline stage
+//   --stats             print optimizer statistics and dynamic counters
+//   --trace FILE        write a Chrome trace (chrome://tracing, Perfetto)
+//   --entry NAME        entry function (default main)
+//   --threshold W       blocking threshold in words (default 3)
 //
 // Sample programs live in examples/programs/.
 //
 //===----------------------------------------------------------------------===//
 
 #include "codegen/ThreadedC.h"
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "simple/Printer.h"
+#include "support/Trace.h"
 
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 
@@ -34,8 +38,8 @@ using namespace earthcc;
 static void usage(const char *Argv0) {
   std::fprintf(stderr,
                "usage: %s [--nodes N] [--no-opt] [--seq] [--locality] [--dump-ir] "
-               "[--emit-threaded] "
-               "[--stats] [--entry NAME] [--threshold W] program.ec\n",
+               "[--dump-after-pass] [--emit-threaded] [--stats] "
+               "[--trace FILE] [--entry NAME] [--threshold W] program.ec\n",
                Argv0);
 }
 
@@ -45,10 +49,12 @@ int main(int argc, char **argv) {
   bool Locality = false;
   bool Sequential = false;
   bool DumpIR = false;
+  bool DumpAfterPass = false;
   bool EmitThreaded = false;
   bool Stats = false;
   std::string Entry = "main";
   std::string Path;
+  std::string TracePath;
   unsigned Threshold = 3;
 
   for (int I = 1; I < argc; ++I) {
@@ -63,10 +69,14 @@ int main(int argc, char **argv) {
       Sequential = true;
     } else if (Arg == "--dump-ir") {
       DumpIR = true;
+    } else if (Arg == "--dump-after-pass") {
+      DumpAfterPass = true;
     } else if (Arg == "--emit-threaded") {
       EmitThreaded = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--trace" && I + 1 < argc) {
+      TracePath = argv[++I];
     } else if (Arg == "--entry" && I + 1 < argc) {
       Entry = argv[++I];
     } else if (Arg == "--threshold" && I + 1 < argc) {
@@ -91,11 +101,20 @@ int main(int argc, char **argv) {
   std::ostringstream Buf;
   Buf << In.rdbuf();
 
-  CompileOptions CO;
-  CO.Optimize = Optimize && !Sequential;
-  CO.InferLocality = Locality && !Sequential;
-  CO.Comm.BlockThresholdWords = Threshold;
-  CompileResult CR = compileEarthC(Buf.str(), CO);
+  PipelineOptions PO;
+  PO.Optimize = Optimize && !Sequential;
+  PO.InferLocality = Locality && !Sequential;
+  PO.BlockThresholdWords = Threshold;
+
+  Pipeline P(PO);
+  ChromeTraceSink TraceSink;
+  if (!TracePath.empty())
+    P.setTraceSink(&TraceSink); // attached before compile: pass events too
+  IRDumpObserver Dumper(std::cout);
+  if (DumpAfterPass)
+    P.addObserver(&Dumper);
+
+  CompileResult CR = P.compile(Buf.str());
   if (!CR.OK) {
     std::fprintf(stderr, "%s", CR.Messages.c_str());
     return 1;
@@ -109,12 +128,23 @@ int main(int argc, char **argv) {
   MachineConfig MC;
   MC.NumNodes = Sequential ? 1 : Nodes;
   MC.SequentialMode = Sequential;
-  RunResult R = runProgram(*CR.M, MC, Entry);
+  RunResult R = P.run(CR, MC, Entry);
   for (const std::string &Line : R.Output)
     std::printf("%s\n", Line.c_str());
   if (!R.OK) {
     std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
     return 1;
+  }
+
+  if (!TracePath.empty()) {
+    std::ofstream TraceOut(TracePath);
+    if (!TraceOut) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", TracePath.c_str());
+      return 1;
+    }
+    TraceSink.write(TraceOut);
+    std::fprintf(stderr, "[trace: %zu events -> %s]\n",
+                 TraceSink.events().size(), TracePath.c_str());
   }
 
   std::fprintf(stderr, "[%s: %.3f simulated ms on %u node%s]\n",
@@ -131,6 +161,9 @@ int main(int argc, char **argv) {
                  (unsigned long long)R.Counters.LocalFallbacks,
                  (unsigned long long)R.Counters.WordsMoved,
                  (unsigned long long)R.Counters.Spawns);
+    for (const StageReport &SR : P.stages())
+      std::fprintf(stderr, "[stage %-12s %10.1f us]\n", SR.Name.c_str(),
+                   SR.WallNs / 1e3);
     std::fprintf(stderr, "%s", CR.Stats.str().c_str());
   }
   return static_cast<int>(R.ExitValue.I);

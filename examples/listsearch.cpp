@@ -15,7 +15,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Placement.h"
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "simple/Printer.h"
 
 #include <cstdio>
@@ -109,10 +109,10 @@ void printPlacementSets(Module &M) {
 } // namespace
 
 int main() {
-  CompileOptions NoOpt;
-  NoOpt.Optimize = false;
-  CompileResult SimpleCR = compileEarthC(Program, NoOpt);
-  CompileResult OptCR = compileEarthC(Program, CompileOptions{});
+  Pipeline SimpleP(PipelineOptions::simple());
+  Pipeline OptP(PipelineOptions::optimized());
+  CompileResult SimpleCR = SimpleP.compile(Program);
+  CompileResult OptCR = OptP.compile(Program);
   if (!SimpleCR.OK || !OptCR.OK) {
     std::fprintf(stderr, "compile error:\n%s%s\n", SimpleCR.Messages.c_str(),
                  OptCR.Messages.c_str());
@@ -126,8 +126,8 @@ int main() {
 
   MachineConfig MC;
   MC.NumNodes = 4;
-  RunResult S = runProgram(*SimpleCR.M, MC);
-  RunResult O = runProgram(*OptCR.M, MC);
+  RunResult S = SimpleP.run(*SimpleCR.M, MC);
+  RunResult O = OptP.run(*OptCR.M, MC);
   if (!S.OK || !O.OK) {
     std::fprintf(stderr, "runtime error: %s%s\n", S.Error.c_str(),
                  O.Error.c_str());

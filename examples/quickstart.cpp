@@ -10,7 +10,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "simple/Printer.h"
 
 #include <cstdio>
@@ -43,16 +43,16 @@ int main() {
   )";
 
   // 1. Compile without the communication optimization ("simple").
-  CompileOptions Simple;
-  Simple.Optimize = false;
-  CompileResult SimpleCR = compileEarthC(Source, Simple);
+  Pipeline SimpleP(PipelineOptions::simple());
+  CompileResult SimpleCR = SimpleP.compile(Source);
   if (!SimpleCR.OK) {
     std::fprintf(stderr, "compile error:\n%s\n", SimpleCR.Messages.c_str());
     return 1;
   }
 
   // 2. Compile with the optimization (the paper's framework).
-  CompileResult OptCR = compileEarthC(Source, CompileOptions{});
+  Pipeline OptP(PipelineOptions::optimized());
+  CompileResult OptCR = OptP.compile(Source);
   if (!OptCR.OK) {
     std::fprintf(stderr, "compile error:\n%s\n", OptCR.Messages.c_str());
     return 1;
@@ -67,8 +67,8 @@ int main() {
   // 3. Run both on a 2-node simulated EARTH-MANNA machine.
   MachineConfig MC;
   MC.NumNodes = 2;
-  RunResult SimpleRun = runProgram(*SimpleCR.M, MC);
-  RunResult OptRun = runProgram(*OptCR.M, MC);
+  RunResult SimpleRun = SimpleP.run(*SimpleCR.M, MC);
+  RunResult OptRun = OptP.run(*OptCR.M, MC);
   if (!SimpleRun.OK || !OptRun.OK) {
     std::fprintf(stderr, "runtime error: %s%s\n", SimpleRun.Error.c_str(),
                  OptRun.Error.c_str());

@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "support/TablePrinter.h"
 
 #include <cstdio>
@@ -102,11 +102,21 @@ int main() {
   std::printf("treesum: weighted sum over a distributed binary tree "
               "(511 nodes)\n\n");
 
+  // Compile each version once; the module is machine-size independent, so
+  // the node sweep below only re-runs the simulator.
+  Pipeline SimpleP(PipelineOptions::simple());
+  Pipeline OptP(PipelineOptions::optimized());
+  CompileResult SimpleCR = SimpleP.compile(Program);
+  CompileResult OptCR = OptP.compile(Program);
+  if (!SimpleCR.OK || !OptCR.OK) {
+    std::fprintf(stderr, "compile error:\n%s%s\n", SimpleCR.Messages.c_str(),
+                 OptCR.Messages.c_str());
+    return 1;
+  }
+
   MachineConfig SeqMC;
   SeqMC.SequentialMode = true;
-  CompileOptions NoOpt;
-  NoOpt.Optimize = false;
-  RunResult Seq = compileAndRun(Program, SeqMC, NoOpt);
+  RunResult Seq = SimpleP.run(SimpleCR, SeqMC);
   if (!Seq.OK) {
     std::fprintf(stderr, "error: %s\n", Seq.Error.c_str());
     return 1;
@@ -117,8 +127,8 @@ int main() {
   for (unsigned N : {1u, 2u, 4u, 8u, 16u}) {
     MachineConfig MC;
     MC.NumNodes = N;
-    RunResult S = compileAndRun(Program, MC, NoOpt);
-    RunResult O = compileAndRun(Program, MC, CompileOptions{});
+    RunResult S = SimpleP.run(SimpleCR, MC);
+    RunResult O = OptP.run(OptCR, MC);
     if (!S.OK || !O.OK) {
       std::fprintf(stderr, "error: %s%s\n", S.Error.c_str(),
                    O.Error.c_str());

@@ -1,4 +1,4 @@
-//===- Driver.cpp ---------------------------------------------------------===//
+//===- Driver.cpp - Legacy wrappers over the Pipeline API ------------------===//
 //
 // Part of the earthcc project.
 //
@@ -6,45 +6,14 @@
 
 #include "driver/Driver.h"
 
-#include "analysis/Locality.h"
-#include "frontend/Simplify.h"
-#include "simple/Verifier.h"
+#include "driver/Pipeline.h"
 
 using namespace earthcc;
 
 CompileResult earthcc::compileEarthC(const std::string &Source,
                                      const CompileOptions &Opts) {
-  CompileResult R;
-  DiagnosticsEngine Diags;
-  R.M = compileToSimple(Source, Diags);
-  if (Diags.hasErrors()) {
-    R.Messages = Diags.str();
-    return R;
-  }
-
-  std::vector<std::string> Errors;
-  if (!verifyModule(*R.M, Errors)) {
-    R.Messages = "internal error: Simplify produced invalid SIMPLE:\n";
-    for (const std::string &E : Errors)
-      R.Messages += "  " + E + "\n";
-    return R;
-  }
-
-  if (Opts.InferLocality)
-    inferLocality(*R.M, R.Stats);
-
-  if (Opts.Optimize) {
-    if (!optimizeModuleCommunication(*R.M, Opts.Comm, R.Stats, Errors)) {
-      R.Messages =
-          "internal error: communication selection broke the module:\n";
-      for (const std::string &E : Errors)
-        R.Messages += "  " + E + "\n";
-      return R;
-    }
-  }
-
-  R.OK = true;
-  return R;
+  Pipeline P{PipelineOptions(Opts)};
+  return P.compile(Source);
 }
 
 RunResult earthcc::compileAndRun(const std::string &Source,
@@ -52,11 +21,6 @@ RunResult earthcc::compileAndRun(const std::string &Source,
                                  const CompileOptions &Opts,
                                  const std::string &Entry,
                                  const std::vector<RtValue> &Args) {
-  CompileResult CR = compileEarthC(Source, Opts);
-  if (!CR.OK) {
-    RunResult R;
-    R.Error = CR.Messages;
-    return R;
-  }
-  return runProgram(*CR.M, MC, Entry, Args);
+  Pipeline P{PipelineOptions(Opts)};
+  return P.compileAndRun(Source, MC, Entry, Args);
 }

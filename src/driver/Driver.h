@@ -6,11 +6,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The compiler driver: EARTH-C source -> lex/parse -> Simplify (SIMPLE
-/// three-address form) -> [communication optimization] -> verified Module,
-/// plus a convenience wrapper that also executes the result on the
+/// The legacy driver surface: EARTH-C source -> lex/parse -> Simplify
+/// (SIMPLE three-address form) -> [communication optimization] -> verified
+/// Module, plus a convenience wrapper that also executes the result on the
 /// simulated EARTH-MANNA machine. The two standard configurations mirror
 /// the paper's "simple" (unoptimized) and "optimized" program versions.
+///
+/// New code should use the Pipeline object in driver/Pipeline.h — the
+/// functions here are thin wrappers kept so existing call sites compile,
+/// and CompileOptions converts implicitly to the merged PipelineOptions.
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,196 @@
+//===- Pipeline.cpp - The earthcc driver API -------------------------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+
+#include "analysis/Locality.h"
+#include "frontend/Simplify.h"
+#include "simple/Printer.h"
+#include "simple/Verifier.h"
+
+using namespace earthcc;
+
+PipelineObserver::~PipelineObserver() = default;
+void PipelineObserver::stageStarted(const std::string &, const Module *) {}
+void PipelineObserver::stageFinished(const StageReport &, const Module *) {}
+void PipelineObserver::runFinished(const RunResult &, const MachineConfig &) {}
+
+void IRDumpObserver::stageFinished(const StageReport &Report,
+                                   const Module *M) {
+  OS << ";; ==== IR after " << Report.Name << " ====\n";
+  if (M)
+    OS << printModule(*M);
+  OS << "\n";
+}
+
+/// Runs one named, timed, observed stage. \p Body receives the stage-local
+/// Statistics and returns false on failure (with R.Messages set).
+template <typename BodyFn>
+bool Pipeline::runStage(const char *Name, CompileResult &R, BodyFn &&Body) {
+  for (PipelineObserver *O : Observers)
+    O->stageStarted(Name, R.M.get());
+
+  StageReport Rep;
+  Rep.Name = Name;
+  auto T0 = std::chrono::steady_clock::now();
+  if (WallBase == std::chrono::steady_clock::time_point{})
+    WallBase = T0;
+  bool OK = Body(Rep.Counters);
+  auto T1 = std::chrono::steady_clock::now();
+  Rep.WallNs = std::chrono::duration<double, std::nano>(T1 - T0).count();
+  R.Stats.merge(Rep.Counters);
+
+  if (Sink) {
+    TraceEvent E;
+    E.Name = Name;
+    E.Cat = "pass";
+    E.Ph = 'X';
+    E.TsNs = std::chrono::duration<double, std::nano>(T0 - WallBase).count();
+    E.DurNs = Rep.WallNs;
+    E.Pid = 0;
+    E.Tid = TraceTidPass;
+    for (const auto &[Key, Value] : Rep.Counters.all())
+      E.Args.emplace_back(Key, Value);
+    if (!OK)
+      E.Args.emplace_back("failed", 1);
+    Sink->event(E);
+  }
+
+  Stages.push_back(std::move(Rep));
+  for (PipelineObserver *O : Observers)
+    O->stageFinished(Stages.back(), R.M.get());
+  return OK;
+}
+
+CompileResult Pipeline::compile(const std::string &Source) {
+  Stages.clear();
+  CompileResult R;
+  DiagnosticsEngine Diags;
+
+  bool OK = runStage("simplify", R, [&](Statistics &S) {
+    R.M = compileToSimple(Source, Diags);
+    if (Diags.hasErrors()) {
+      R.Messages = Diags.str();
+      return false;
+    }
+    S.add("simplify.functions", R.M->functions().size());
+    return true;
+  });
+  if (!OK)
+    return R;
+
+  OK = runStage("verify", R, [&](Statistics &) {
+    std::vector<std::string> Errors;
+    if (verifyModule(*R.M, Errors))
+      return true;
+    R.Messages = "internal error: Simplify produced invalid SIMPLE:\n";
+    for (const std::string &E : Errors)
+      R.Messages += "  " + E + "\n";
+    return false;
+  });
+  if (!OK)
+    return R;
+
+  if (Opts.InferLocality) {
+    if (!runStage("locality", R, [&](Statistics &S) {
+          inferLocality(*R.M, S);
+          return true;
+        }))
+      return R;
+  }
+
+  if (Opts.Optimize) {
+    OK = runStage("comm-select", R, [&](Statistics &S) {
+      std::vector<std::string> Errors;
+      if (optimizeModuleCommunication(*R.M, Opts, S, Errors))
+        return true;
+      R.Messages =
+          "internal error: communication selection broke the module:\n";
+      for (const std::string &E : Errors)
+        R.Messages += "  " + E + "\n";
+      return false;
+    });
+    if (!OK)
+      return R;
+  }
+
+  R.OK = true;
+  return R;
+}
+
+/// Emits the 'M' metadata events that name each simulated node's tracks in
+/// the trace viewer.
+static void emitMachineMetadata(TraceSink &Sink, const MachineConfig &MC) {
+  auto Meta = [&](const char *What, uint32_t Pid, uint32_t Tid,
+                  std::string Name) {
+    TraceEvent E;
+    E.Name = What;
+    E.Cat = "meta";
+    E.Ph = 'M';
+    E.Pid = Pid;
+    E.Tid = Tid;
+    E.Args.emplace_back("name", std::move(Name));
+    Sink.event(E);
+  };
+  for (unsigned N = 0; N != std::max(1u, MC.NumNodes); ++N) {
+    Meta("process_name", N, TraceTidEU, "node " + std::to_string(N));
+    Meta("thread_name", N, TraceTidEU, "EU");
+    Meta("thread_name", N, TraceTidSU, "SU");
+    Meta("thread_name", N, TraceTidComm, "in-flight comm");
+  }
+  Meta("thread_name", 0, TraceTidPass, "driver/passes");
+}
+
+RunResult Pipeline::run(const Module &M, const MachineConfig &MC,
+                        const std::string &Entry,
+                        const std::vector<RtValue> &Args) {
+  MachineConfig Cfg = MC;
+  if (!Cfg.Trace)
+    Cfg.Trace = Sink;
+  if (Cfg.Trace)
+    emitMachineMetadata(*Cfg.Trace, Cfg);
+
+  RunResult R = runProgram(M, Cfg, Entry, Args);
+
+  if (Cfg.Trace) {
+    // One summary span over the whole run, in simulated time.
+    TraceEvent E;
+    E.Name = "run:" + Entry;
+    E.Cat = "run";
+    E.Ph = 'X';
+    E.TsNs = 0.0;
+    E.DurNs = R.TimeNs;
+    E.Pid = 0;
+    E.Tid = TraceTidPass;
+    E.Args.emplace_back("nodes", Cfg.NumNodes);
+    E.Args.emplace_back("steps", R.StepsExecuted);
+    E.Args.emplace_back("remote-ops", R.Counters.total());
+    E.Args.emplace_back("words-moved", R.Counters.WordsMoved);
+    Cfg.Trace->event(E);
+  }
+
+  for (PipelineObserver *O : Observers)
+    O->runFinished(R, Cfg);
+  return R;
+}
+
+RunResult Pipeline::run(const CompileResult &CR, const MachineConfig &MC,
+                        const std::string &Entry,
+                        const std::vector<RtValue> &Args) {
+  if (!CR.OK) {
+    RunResult R;
+    R.Error = CR.Messages;
+    return R;
+  }
+  return run(*CR.M, MC, Entry, Args);
+}
+
+RunResult Pipeline::compileAndRun(const std::string &Source,
+                                  const MachineConfig &MC,
+                                  const std::string &Entry,
+                                  const std::vector<RtValue> &Args) {
+  return run(compile(Source), MC, Entry, Args);
+}

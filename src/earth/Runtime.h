@@ -25,6 +25,8 @@
 
 namespace earthcc {
 
+class TraceSink;
+
 /// A word address in the global address space: (node, word offset).
 struct GlobalAddr {
   int32_t Node = -1;
@@ -133,6 +135,11 @@ struct MachineConfig {
   /// monopolize its node's EU; after this many steps a fiber re-enters the
   /// ready queue behind same-time peers. 0 disables preemption.
   unsigned EUQuantum = 64;
+  /// Observability: when set, the interpreter emits a structured event for
+  /// every split-phase read/write, blkmov, SU service slice, EU fiber
+  /// slice, and sync-slot signal (node- and cycle-attributed). Non-owning;
+  /// null means tracing off and costs nothing on the hot path.
+  TraceSink *Trace = nullptr;
 };
 
 /// Per-node memory plus allocation; the aggregate is the global address

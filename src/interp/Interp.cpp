@@ -6,6 +6,8 @@
 
 #include "interp/Interp.h"
 
+#include "support/Trace.h"
+
 #include <cassert>
 #include <cmath>
 #include <deque>
@@ -98,7 +100,7 @@ struct RuntimeFailure {
 class Interp {
 public:
   Interp(const Module &M, const MachineConfig &Cfg)
-      : M(M), Cfg(Cfg), Mem(std::max(1u, Cfg.NumNodes)),
+      : M(M), Cfg(Cfg), Trc(Cfg.Trace), Mem(std::max(1u, Cfg.NumNodes)),
         EUClock(Mem.numNodes(), 0.0), SUClock(Mem.numNodes(), 0.0),
         LastFiber(Mem.numNodes(), nullptr) {}
 
@@ -109,6 +111,57 @@ private:
 
   [[noreturn]] void runtimeError(const std::string &Message) const {
     throw RuntimeFailure{Message};
+  }
+
+  //===--------------------------------------------------------------------===
+  // Tracing. Every emitter is guarded by `if (Trc)` at the call site, so a
+  // null sink costs one branch and builds no event objects.
+  //===--------------------------------------------------------------------===
+
+  /// A completed span: a transaction in flight, an SU service slice, an EU
+  /// fiber slice.
+  void traceSpan(const char *Name, const char *Cat, double Ts, double Dur,
+                 unsigned Pid, uint32_t Tid,
+                 std::vector<TraceEvent::Arg> Args = {}) {
+    TraceEvent E;
+    E.Name = Name;
+    E.Cat = Cat;
+    E.Ph = 'X';
+    E.TsNs = Ts;
+    E.DurNs = Dur;
+    E.Pid = Pid;
+    E.Tid = Tid;
+    E.Args = std::move(Args);
+    Trc->event(E);
+  }
+
+  /// A point event (sync-slot signal, spawn, context switch, fallback).
+  void traceInstant(const char *Name, const char *Cat, double Ts,
+                    unsigned Pid, uint32_t Tid,
+                    std::vector<TraceEvent::Arg> Args = {}) {
+    TraceEvent E;
+    E.Name = Name;
+    E.Cat = Cat;
+    E.Ph = 'i';
+    E.TsNs = Ts;
+    E.Pid = Pid;
+    E.Tid = Tid;
+    E.Args = std::move(Args);
+    Trc->event(E);
+  }
+
+  /// A sampled clock value (EU/SU clock advance) for counter tracks.
+  void traceClock(const char *Name, double Ts, unsigned Pid, uint32_t Tid,
+                  double Value) {
+    TraceEvent E;
+    E.Name = Name;
+    E.Cat = "clock";
+    E.Ph = 'C';
+    E.TsNs = Ts;
+    E.Pid = Pid;
+    E.Tid = Tid;
+    E.Args.emplace_back("ns", static_cast<uint64_t>(Value));
+    Trc->event(E);
   }
 
   //===--------------------------------------------------------------------===
@@ -176,12 +229,22 @@ private:
   // Remote transaction timing (SU is a FIFO server per node).
   //===--------------------------------------------------------------------===
 
+  /// \p Op names the request kind for the target node's SU trace track;
+  /// callers always pass it, and the events only materialize when tracing.
   double transactionComplete(double IssueEnd, unsigned To, double Service,
-                             double ExtraWords = 0.0) {
+                             double ExtraWords = 0.0,
+                             const char *Op = "request") {
     double Arrival = IssueEnd + cost().NetDelay;
     double SuStart = std::max(SUClock[To], Arrival);
     double SuEnd = SuStart + Service + cost().PerWord * ExtraWords;
     SUClock[To] = SuEnd;
+    if (Trc) {
+      // Prefixed so CounterTraceSink keeps SU service slices distinct from
+      // the issuing node's in-flight span for the same operation.
+      traceSpan((std::string("su:") + Op).c_str(), "su", SuStart,
+                SuEnd - SuStart, To, TraceTidSU);
+      traceClock("su-clock", SuEnd, To, TraceTidSU, SuEnd);
+    }
     return SuEnd + cost().NetDelay;
   }
 
@@ -321,13 +384,18 @@ private:
     return Fibers.back().get();
   }
 
-  void finishFiber(Fiber *F, double End) {
+  void finishFiber(Fiber *F, double End, unsigned Node) {
     F->Done = true;
     if (F == MainFiber)
       EndTime = End;
     if (auto Join = F->ParentJoin) {
       --Join->Outstanding;
       Join->LatestEnd = std::max(Join->LatestEnd, End);
+      // The EARTH sync-slot signal: the settling fiber decrements its
+      // parent's join counter (outstanding writes already folded into End).
+      if (Trc)
+        traceInstant("sync-signal", "sync", End, Node, TraceTidEU,
+                     {{"fiber", F->Id}, {"outstanding", Join->Outstanding}});
       if (Join->Outstanding == 0 && Join->Waiter) {
         Fiber *W = Join->Waiter;
         Join->Waiter = nullptr;
@@ -399,15 +467,24 @@ private:
       ++Ctr.ReadData;
       if (Addr.Node == static_cast<int32_t>(Fr.Node)) {
         ++Ctr.LocalFallbacks;
+        if (Trc)
+          traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
+                       {{"op", "read-data"}});
         Now += cost().LocalFallback;
         Dst.Words[0] = Mem.word(Addr);
         Dst.AvailAt = Now;
         return StepStatus::Continue;
       }
+      double IssueStart = Now;
       Now += cost().ReadIssue;
       ++Ctr.WordsMoved;
       double DoneAt =
-          transactionComplete(Now, Addr.Node, cost().SUReadService);
+          transactionComplete(Now, Addr.Node, cost().SUReadService, 0.0,
+                              "read-data");
+      if (Trc)
+        traceSpan("read-data", "comm", IssueStart, DoneAt - IssueStart,
+                  Fr.Node, TraceTidComm,
+                  {{"to", Addr.Node}, {"addr", Addr.str()}});
       Dst.Words[0] = Mem.word(Addr);
       Dst.AvailAt = DoneAt;
       return StepStatus::Continue;
@@ -475,14 +552,23 @@ private:
       ++Ctr.WriteData;
       if (Addr.Node == static_cast<int32_t>(Fr.Node)) {
         ++Ctr.LocalFallbacks;
+        if (Trc)
+          traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
+                       {{"op", "write-data"}});
         Now += cost().LocalFallback;
         Mem.word(Addr) = Val;
         return StepStatus::Continue;
       }
+      double IssueStart = Now;
       Now += cost().WriteIssue;
       ++Ctr.WordsMoved;
       double DoneAt =
-          transactionComplete(Now, Addr.Node, cost().SUWriteService);
+          transactionComplete(Now, Addr.Node, cost().SUWriteService, 0.0,
+                              "write-data");
+      if (Trc)
+        traceSpan("write-data", "comm", IssueStart, DoneAt - IssueStart,
+                  Fr.Node, TraceTidComm,
+                  {{"to", Addr.Node}, {"addr", Addr.str()}});
       Mem.word(Addr) = Val;
       Fr.WriteSync = std::max(Fr.WriteSync, DoneAt);
       return StepStatus::Continue;
@@ -530,6 +616,9 @@ private:
     ++Ctr.BlkMov;
     if (Addr.Node == static_cast<int32_t>(Fr.Node)) {
       ++Ctr.LocalFallbacks;
+      if (Trc)
+        traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
+                     {{"op", "blkmov"}, {"words", B.Words}});
       Now += cost().LocalFallback + cost().LocalBlkPerWord * B.Words;
       copyWords();
       if (B.Dir == BlkMovDir::ReadToLocal)
@@ -537,10 +626,18 @@ private:
       return StepStatus::Continue;
     }
 
+    double IssueStart = Now;
     Now += cost().BlkIssue;
     Ctr.WordsMoved += B.Words;
-    double DoneAt =
-        transactionComplete(Now, Addr.Node, cost().SUBlkService, B.Words);
+    double DoneAt = transactionComplete(Now, Addr.Node, cost().SUBlkService,
+                                        B.Words, "blkmov");
+    if (Trc)
+      traceSpan("blkmov", "comm", IssueStart, DoneAt - IssueStart, Fr.Node,
+                TraceTidComm,
+                {{"to", Addr.Node},
+                 {"addr", Addr.str()},
+                 {"words", B.Words},
+                 {"dir", B.Dir == BlkMovDir::ReadToLocal ? "read" : "write"}});
     copyWords();
     if (B.Dir == BlkMovDir::ReadToLocal)
       Local.AvailAt = DoneAt;
@@ -581,10 +678,16 @@ private:
       if (LocalHit) {
         Now += LocalCost;
       } else {
+        double IssueStart = Now;
         Now += cost().WriteIssue;
-        Fr.WriteSync = std::max(
-            Fr.WriteSync,
-            transactionComplete(Now, Addr.Node, cost().SUAtomicService));
+        double DoneAt = transactionComplete(Now, Addr.Node,
+                                            cost().SUAtomicService, 0.0,
+                                            "atomic");
+        if (Trc)
+          traceSpan("atomic", "comm", IssueStart, DoneAt - IssueStart,
+                    Fr.Node, TraceTidComm,
+                    {{"to", Addr.Node}, {"var", A.SharedVar->name()}});
+        Fr.WriteSync = std::max(Fr.WriteSync, DoneAt);
       }
       return StepStatus::Continue;
     }
@@ -598,9 +701,15 @@ private:
         Now += LocalCost;
         Dst.AvailAt = Now;
       } else {
+        double IssueStart = Now;
         Now += cost().ReadIssue;
-        Dst.AvailAt =
-            transactionComplete(Now, Addr.Node, cost().SUAtomicService);
+        Dst.AvailAt = transactionComplete(Now, Addr.Node,
+                                          cost().SUAtomicService, 0.0,
+                                          "atomic");
+        if (Trc)
+          traceSpan("atomic", "comm", IssueStart, Dst.AvailAt - IssueStart,
+                    Fr.Node, TraceTidComm,
+                    {{"to", Addr.Node}, {"var", A.SharedVar->name()}});
       }
       return StepStatus::Continue;
     }
@@ -725,6 +834,9 @@ private:
     }
     ++Ctr.Spawns;
     Now += cost().SpawnCost;
+    if (Trc)
+      traceInstant("migrate", "fiber", Now, Fr.Node, TraceTidEU,
+                   {{"fiber", F->Id}, {"to", Target}});
     F->Stack.push_back(std::move(NewFr));
     BlockTime = Now + cost().NetDelay; // Travel to the remote node.
     return StepStatus::YieldAt;
@@ -745,7 +857,7 @@ private:
       double End = std::max(Now, Done.WriteSync);
       if (Done.Migrated)
         End += cost().NetDelay;
-      finishFiber(F, End);
+      finishFiber(F, End, Done.Node);
       return StepStatus::FiberDone;
     }
 
@@ -803,7 +915,7 @@ private:
 
   StepStatus step(Fiber *F, double &Now, double &BlockTime) {
     if (F->Stack.empty()) {
-      finishFiber(F, Now);
+      finishFiber(F, Now, 0);
       return StepStatus::FiberDone;
     }
     Frame &Fr = F->Stack.back();
@@ -832,6 +944,9 @@ private:
             if (!Cfg.SequentialMode) {
               Now += cost().SpawnCost;
               ++Ctr.Spawns;
+              if (Trc)
+                traceInstant("spawn", "fiber", Now, Fr.Node, TraceTidEU,
+                             {{"child", Child->Id}});
             }
             schedule(Child, Now);
           }
@@ -958,6 +1073,9 @@ private:
         if (!Cfg.SequentialMode) {
           Now += cost().SpawnCost;
           ++Ctr.Spawns;
+          if (Trc)
+            traceInstant("spawn", "fiber", Now, Fr.Node, TraceTidEU,
+                         {{"child", Child->Id}});
         }
         schedule(Child, Now);
         Fr.Control.push_back({Fa.Step.get(), 0, nullptr});
@@ -989,10 +1107,23 @@ private:
     double Now = std::max(T, EUClock[Node]);
     if (LastFiber[Node] != F && LastFiber[Node] != nullptr &&
         !Cfg.SequentialMode) {
+      if (Trc)
+        traceInstant("ctx-switch", "eu", Now, Node, TraceTidEU,
+                     {{"fiber", F->Id}});
       Now += cost().CtxSwitch;
       ++Ctr.CtxSwitches;
     }
     LastFiber[Node] = F;
+    // A fiber's node is stable within one run: migrations and remote
+    // returns exit through YieldAt, so one EU slice spans the whole run.
+    const double SliceStart = Now;
+    auto endSlice = [&](double End) {
+      if (Trc && End > SliceStart) {
+        traceSpan("eu-run", "eu", SliceStart, End - SliceStart, Node,
+                  TraceTidEU, {{"fiber", F->Id}});
+        traceClock("eu-clock", End, Node, TraceTidEU, EUClock[Node]);
+      }
+    };
 
     for (unsigned StepsThisRun = 0;; ++StepsThisRun) {
       if (++Steps > Cfg.MaxSteps)
@@ -1002,6 +1133,7 @@ private:
         // Quantum expired: let same-time peers (e.g. freshly spawned
         // sibling branches) dispatch. LastFiber stays set so an immediate
         // re-entry costs no context switch.
+        endSlice(Now);
         schedule(F, Now);
         return;
       }
@@ -1013,11 +1145,13 @@ private:
         continue;
       case StepStatus::BlockRetry:
       case StepStatus::YieldAt:
+        endSlice(Now);
         LastFiber[NodeBefore] = nullptr;
         schedule(F, std::max(BlockTime, Now));
         return;
       case StepStatus::WaitJoin:
       case StepStatus::FiberDone:
+        endSlice(Now);
         LastFiber[NodeBefore] = nullptr;
         return;
       }
@@ -1030,6 +1164,7 @@ private:
 
   const Module &M;
   MachineConfig Cfg;
+  TraceSink *Trc = nullptr;
   EarthMemory Mem;
   OpCounters Ctr;
   std::vector<double> EUClock;

@@ -33,6 +33,15 @@ public:
     return It == Counters.end() ? 0 : It->second;
   }
   const std::map<std::string, uint64_t> &all() const { return Counters; }
+  bool empty() const { return Counters.empty(); }
+
+  /// Accumulates every counter of \p Other into this registry. Used to fold
+  /// per-stage counters into a compilation total and to combine the counter
+  /// sinks of independent runs into one report.
+  void merge(const Statistics &Other) {
+    for (const auto &[Key, Value] : Other.Counters)
+      Counters[Key] += Value;
+  }
 
   /// Renders "key = value" lines sorted by key.
   std::string str() const {
@@ -40,6 +49,19 @@ public:
     for (const auto &[Key, Value] : Counters)
       Out += Key + " = " + std::to_string(Value) + "\n";
     return Out;
+  }
+
+  /// Serializes as a flat JSON object, keys sorted: {"a.b": 1, ...}.
+  /// Keys only ever contain [A-Za-z0-9._-], so no escaping is needed.
+  std::string json() const {
+    std::string Out = "{";
+    bool First = true;
+    for (const auto &[Key, Value] : Counters) {
+      Out += First ? "" : ", ";
+      Out += "\"" + Key + "\": " + std::to_string(Value);
+      First = false;
+    }
+    return Out + "}";
   }
 
 private:

@@ -30,6 +30,12 @@ public:
         PR(runPlacementAnalysis(F, SE, Opts.Placement)) {}
 
   void run() {
+    // Observability: the sizes of the placement analysis' tuple sets, the
+    // quantity the paper's Figures 5-7 reason about.
+    for (const auto &[S, Tuples] : PR.BeforeReads)
+      Stats.add("placement.read_tuples", Tuples.size());
+    for (const auto &[S, Tuples] : PR.AfterWrites)
+      Stats.add("placement.write_tuples", Tuples.size());
     if (Opts.EnableWriteBlocking && Opts.EnableBlocking)
       planWritesSeq(F.body());
     processSeq(F.body());

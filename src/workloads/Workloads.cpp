@@ -49,25 +49,29 @@ const Workload *earthcc::findWorkload(const std::string &Name) {
   return nullptr;
 }
 
+PipelineOptions earthcc::workloadOptions(RunMode Mode,
+                                         const CommOptions &Comm) {
+  PipelineOptions Opts;
+  static_cast<CommOptions &>(Opts) = Comm;
+  Opts.Optimize = Mode == RunMode::Optimized;
+  return Opts;
+}
+
+MachineConfig earthcc::workloadMachine(RunMode Mode, unsigned Nodes) {
+  MachineConfig MC;
+  MC.NumNodes = Mode == RunMode::Sequential ? 1 : Nodes;
+  MC.SequentialMode = Mode == RunMode::Sequential;
+  return MC;
+}
+
+CompileResult earthcc::compileWorkload(const Workload &W, RunMode Mode,
+                                       const CommOptions &Comm) {
+  Pipeline P(workloadOptions(Mode, Comm));
+  return P.compile(W.Source);
+}
+
 RunResult earthcc::runWorkload(const Workload &W, RunMode Mode,
                                unsigned Nodes, const CommOptions &Comm) {
-  MachineConfig MC;
-  CompileOptions CO;
-  CO.Comm = Comm;
-  switch (Mode) {
-  case RunMode::Sequential:
-    MC.NumNodes = 1;
-    MC.SequentialMode = true;
-    CO.Optimize = false;
-    break;
-  case RunMode::Simple:
-    MC.NumNodes = Nodes;
-    CO.Optimize = false;
-    break;
-  case RunMode::Optimized:
-    MC.NumNodes = Nodes;
-    CO.Optimize = true;
-    break;
-  }
-  return compileAndRun(W.Source, MC, CO);
+  Pipeline P(workloadOptions(Mode, Comm));
+  return P.run(P.compile(W.Source), workloadMachine(Mode, Nodes));
 }

@@ -22,7 +22,7 @@
 #ifndef EARTHCC_WORKLOADS_WORKLOADS_H
 #define EARTHCC_WORKLOADS_WORKLOADS_H
 
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 
 #include <string>
 #include <vector>
@@ -52,7 +52,21 @@ enum class RunMode {
   Optimized   ///< Parallel, communication optimization enabled.
 };
 
-/// Compiles and runs \p W under \p Mode on \p Nodes nodes.
+/// The pipeline configuration matching \p Mode (with \p Comm as the
+/// communication-selection policy where it applies).
+PipelineOptions workloadOptions(RunMode Mode, const CommOptions &Comm = {});
+
+/// The machine configuration matching \p Mode at \p Nodes nodes.
+MachineConfig workloadMachine(RunMode Mode, unsigned Nodes);
+
+/// Compiles \p W once under \p Mode. Run the resulting module at any
+/// number of machine sizes via Pipeline::run — the module does not depend
+/// on the node count, so harnesses must not recompile per configuration.
+CompileResult compileWorkload(const Workload &W, RunMode Mode,
+                              const CommOptions &Comm = {});
+
+/// Compiles and runs \p W under \p Mode on \p Nodes nodes (one-shot
+/// convenience; sweeps should use compileWorkload + Pipeline::run).
 RunResult runWorkload(const Workload &W, RunMode Mode, unsigned Nodes,
                       const CommOptions &Comm = {});
 

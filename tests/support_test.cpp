@@ -7,6 +7,7 @@
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
+#include "support/Trace.h"
 
 #include <gtest/gtest.h>
 
@@ -51,6 +52,122 @@ TEST(StatisticsTest, AccumulatesAndRenders) {
   EXPECT_EQ(Stats.get("comm.writes"), 5u);
   EXPECT_EQ(Stats.get("missing"), 0u);
   EXPECT_EQ(Stats.str(), "comm.reads = 3\ncomm.writes = 5\n");
+}
+
+TEST(StatisticsTest, MergeAccumulates) {
+  Statistics A;
+  A.add("comm.reads", 3);
+  A.add("comm.writes", 1);
+  Statistics B;
+  B.add("comm.reads", 2);
+  B.add("comm.blkmov", 7);
+  A.merge(B);
+  EXPECT_EQ(A.get("comm.reads"), 5u);
+  EXPECT_EQ(A.get("comm.writes"), 1u);
+  EXPECT_EQ(A.get("comm.blkmov"), 7u);
+  // The source is unchanged.
+  EXPECT_EQ(B.get("comm.reads"), 2u);
+  EXPECT_EQ(B.get("comm.writes"), 0u);
+}
+
+TEST(StatisticsTest, MergeWithEmpty) {
+  Statistics A;
+  A.add("x", 4);
+  Statistics Empty;
+  A.merge(Empty);
+  EXPECT_EQ(A.get("x"), 4u);
+  Empty.merge(A);
+  EXPECT_EQ(Empty.get("x"), 4u);
+  EXPECT_FALSE(Empty.empty());
+}
+
+TEST(StatisticsTest, JsonSerialization) {
+  Statistics Stats;
+  EXPECT_EQ(Stats.json(), "{}");
+  Stats.add("b.second", 2);
+  Stats.add("a.first", 1);
+  // Keys come out sorted (map order), values unquoted.
+  EXPECT_EQ(Stats.json(), "{\"a.first\": 1, \"b.second\": 2}");
+}
+
+TEST(TraceTest, JsonEscape) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(jsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+  EXPECT_EQ(jsonEscape(std::string("ctrl\x01", 5)), "ctrl\\u0001");
+}
+
+TEST(TraceTest, CounterSinkAggregates) {
+  CounterTraceSink Sink;
+  TraceEvent Read;
+  Read.Name = "read-data";
+  Read.Ph = 'X';
+  Read.DurNs = 1500.0;
+  Sink.event(Read);
+  Read.DurNs = 500.0;
+  Sink.event(Read);
+  TraceEvent Sync;
+  Sync.Name = "sync-signal";
+  Sync.Ph = 'i';
+  Sink.event(Sync);
+  // Metadata and counter-track events do not pollute the aggregate.
+  TraceEvent Meta;
+  Meta.Name = "process_name";
+  Meta.Ph = 'M';
+  Sink.event(Meta);
+  TraceEvent Clock;
+  Clock.Name = "eu-clock";
+  Clock.Ph = 'C';
+  Sink.event(Clock);
+
+  const Statistics &S = Sink.stats();
+  EXPECT_EQ(S.get("trace.count.read-data"), 2u);
+  EXPECT_EQ(S.get("trace.ns.read-data"), 2000u);
+  EXPECT_EQ(S.get("trace.count.sync-signal"), 1u);
+  EXPECT_EQ(S.get("trace.ns.sync-signal"), 0u);
+  EXPECT_EQ(S.get("trace.count.process_name"), 0u);
+  EXPECT_EQ(S.get("trace.count.eu-clock"), 0u);
+}
+
+TEST(TraceTest, ChromeSinkSerializesEvents) {
+  ChromeTraceSink Sink;
+  TraceEvent E;
+  E.Name = "read-data";
+  E.Cat = "comm";
+  E.Ph = 'X';
+  E.TsNs = 1500.0;
+  E.DurNs = 250.0;
+  E.Pid = 1;
+  E.Tid = TraceTidComm;
+  E.Args.push_back({"to", 2u});
+  E.Args.push_back({"addr", "n1+0x10"});
+  Sink.event(E);
+
+  std::string J = Sink.json();
+  // Timestamps are microseconds in Chrome's format: 1500 ns = 1.5 us.
+  EXPECT_NE(J.find("\"name\":\"read-data\""), std::string::npos);
+  EXPECT_NE(J.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(J.find("\"ts\":1.500"), std::string::npos);
+  EXPECT_NE(J.find("\"dur\":0.250"), std::string::npos);
+  EXPECT_NE(J.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(J.find("\"tid\":2"), std::string::npos);
+  EXPECT_NE(J.find("\"to\":2"), std::string::npos);
+  EXPECT_NE(J.find("\"addr\":\"n1+0x10\""), std::string::npos);
+  EXPECT_EQ(J.front(), '[');
+  EXPECT_EQ(Sink.events().size(), 1u);
+}
+
+TEST(TraceTest, ChromeSinkInstantHasNoDur) {
+  ChromeTraceSink Sink;
+  TraceEvent E;
+  E.Name = "sync-signal";
+  E.Ph = 'i';
+  E.TsNs = 100.0;
+  Sink.event(E);
+  std::string J = Sink.json();
+  EXPECT_EQ(J.find("\"dur\""), std::string::npos);
+  // Instants carry thread scope so Chrome draws them as ticks.
+  EXPECT_NE(J.find("\"s\":\"t\""), std::string::npos);
 }
 
 TEST(TablePrinterTest, AlignsColumns) {

@@ -1,0 +1,134 @@
+//===- trace_test.cpp - Golden-file tests for the runtime trace ------------===//
+//
+// Part of the earthcc project.
+//
+// Runs a tiny EARTH-C program on the 2-node simulated machine with a
+// ChromeTraceSink attached and compares the full serialized trace against
+// a checked-in golden file. The interpreter's events are timestamped in
+// *simulated* nanoseconds, so the trace is bit-for-bit deterministic; the
+// sink is attached only after compilation so no wall-clock pass events
+// leak in. Any change to the simulator's cost model, scheduling order or
+// instrumentation shows up here as a readable JSON diff.
+//
+// Regenerate after an intentional change with:
+//   EARTHCC_REGEN_GOLDEN=1 ./build/tests/trace_test
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Pipeline.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+using namespace earthcc;
+
+#ifndef EARTHCC_GOLDEN_DIR
+#error "EARTHCC_GOLDEN_DIR must point at tests/golden"
+#endif
+
+namespace {
+
+// Small enough that the golden file stays reviewable, but exercises every
+// traced event class: remote reads and writes (node 0 <-> node 1), a local
+// fallback, fiber spawn/sync, and EU/SU activity on both nodes.
+const char *TinyProgram = R"(
+  struct Pair { int a; int b; };
+  int main() {
+    Pair *p;
+    int x; int y;
+    p = pmalloc(sizeof(Pair))@node(1);
+    p->a = 3;
+    p->b = 4;
+    x = p->a;
+    y = p->b;
+    return x + y;
+  }
+)";
+
+std::string goldenPath() {
+  return std::string(EARTHCC_GOLDEN_DIR) + "/trace_tiny.json";
+}
+
+std::string readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return {};
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+} // namespace
+
+TEST(TraceGoldenTest, TinyProgramTwoNodes) {
+  Pipeline P(PipelineOptions::simple());
+  CompileResult CR = P.compile(TinyProgram);
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+
+  // Attach the sink only now: pass events use the host wall clock and
+  // would make the golden file nondeterministic.
+  ChromeTraceSink Sink;
+  P.setTraceSink(&Sink);
+  MachineConfig MC;
+  MC.NumNodes = 2;
+  RunResult R = P.run(*CR.M, MC);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_EQ(R.ExitValue.I, 7);
+
+  std::string Trace = Sink.json();
+  if (std::getenv("EARTHCC_REGEN_GOLDEN")) {
+    std::ofstream Out(goldenPath());
+    ASSERT_TRUE(Out) << "cannot write " << goldenPath();
+    Out << Trace;
+    GTEST_SKIP() << "regenerated " << goldenPath();
+  }
+
+  std::string Golden = readFile(goldenPath());
+  ASSERT_FALSE(Golden.empty())
+      << "missing golden file " << goldenPath()
+      << " (regenerate with EARTHCC_REGEN_GOLDEN=1)";
+  EXPECT_EQ(Trace, Golden)
+      << "simulator trace diverged from golden; if the cost model or "
+         "instrumentation changed intentionally, regenerate with "
+         "EARTHCC_REGEN_GOLDEN=1";
+}
+
+TEST(TraceGoldenTest, TraceContainsExpectedEventClasses) {
+  Pipeline P(PipelineOptions::simple());
+  CompileResult CR = P.compile(TinyProgram);
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+
+  ChromeTraceSink Sink;
+  P.setTraceSink(&Sink);
+  MachineConfig MC;
+  MC.NumNodes = 2;
+  ASSERT_TRUE(P.run(*CR.M, MC).OK);
+
+  unsigned Reads = 0, Writes = 0, EuSlices = 0, SuServices = 0, Meta = 0;
+  bool SawNode1 = false;
+  for (const TraceEvent &E : Sink.events()) {
+    if (E.Name == "read-data" && E.Ph == 'X')
+      ++Reads;
+    if (E.Name == "write-data" && E.Ph == 'X')
+      ++Writes;
+    if (E.Name == "eu-run")
+      ++EuSlices;
+    if (E.Tid == TraceTidSU && E.Ph == 'X')
+      ++SuServices;
+    if (E.Ph == 'M')
+      ++Meta;
+    if (E.Pid == 1)
+      SawNode1 = true;
+  }
+  // Two remote reads (p->a, p->b) and two remote writes from node 0.
+  EXPECT_EQ(Reads, 2u);
+  EXPECT_EQ(Writes, 2u);
+  EXPECT_GT(EuSlices, 0u);
+  EXPECT_GT(SuServices, 0u);
+  EXPECT_GT(Meta, 0u);   // process/thread name metadata
+  EXPECT_TRUE(SawNode1); // remote node shows SU activity
+}
