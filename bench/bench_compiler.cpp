@@ -99,10 +99,36 @@ void BM_SimulateHealth1Node(benchmark::State &State) {
 }
 BENCHMARK(BM_SimulateHealth1Node);
 
-// The pair below verifies the tracing guard: with a null sink the
-// interpreter's hot loop must cost the same as before the observability
-// layer (a never-taken branch per event site); the counter-sink variant
-// shows the enabled-path cost for comparison.
+// The headline engine comparison: the same compiled module simulated by
+// the AST walker vs the bytecode engine (identical simulated results; the
+// equivalence tests assert it). The bytecode module is pre-lowered by the
+// pipeline's "lower" stage, so neither engine pays lowering here.
+void BM_SimulateHealth4NodesAst(benchmark::State &State) {
+  Pipeline P(PipelineOptions::optimized());
+  MachineConfig MC;
+  MC.NumNodes = 4;
+  MC.Engine = ExecEngine::AST;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.run(healthModule(), MC));
+}
+BENCHMARK(BM_SimulateHealth4NodesAst);
+
+void BM_SimulateHealth4NodesBytecode(benchmark::State &State) {
+  Pipeline P(PipelineOptions::optimized());
+  MachineConfig MC;
+  MC.NumNodes = 4;
+  MC.Engine = ExecEngine::Bytecode;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.run(healthModule(), MC));
+}
+BENCHMARK(BM_SimulateHealth4NodesBytecode);
+
+// The pairs below verify the tracing guard *per engine*: with a null sink
+// the hot loop must cost the same as before the observability layer (a
+// never-taken branch per event site — in particular no "su:" label strings
+// may be built when nobody is listening; the labels are interned in
+// interp/EngineCommon.h); the counter-sink variants show the enabled-path
+// cost for comparison.
 void BM_SimulateHealth4NodesNullSink(benchmark::State &State) {
   Pipeline P(PipelineOptions::optimized());
   MachineConfig MC;
@@ -123,6 +149,29 @@ void BM_SimulateHealth4NodesCounterSink(benchmark::State &State) {
   }
 }
 BENCHMARK(BM_SimulateHealth4NodesCounterSink);
+
+void BM_SimulateHealth4NodesAstNullSink(benchmark::State &State) {
+  Pipeline P(PipelineOptions::optimized());
+  MachineConfig MC;
+  MC.NumNodes = 4;
+  MC.Engine = ExecEngine::AST;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.run(healthModule(), MC));
+}
+BENCHMARK(BM_SimulateHealth4NodesAstNullSink);
+
+void BM_SimulateHealth4NodesAstCounterSink(benchmark::State &State) {
+  Pipeline P(PipelineOptions::optimized());
+  MachineConfig MC;
+  MC.NumNodes = 4;
+  MC.Engine = ExecEngine::AST;
+  for (auto _ : State) {
+    CounterTraceSink Sink;
+    MC.Trace = &Sink;
+    benchmark::DoNotOptimize(P.run(healthModule(), MC));
+  }
+}
+BENCHMARK(BM_SimulateHealth4NodesAstCounterSink);
 
 } // namespace
 

@@ -20,7 +20,9 @@
 #include "driver/Pipeline.h"
 #include "support/TablePrinter.h"
 #include "support/Trace.h"
+#include "workloads/Workloads.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -110,6 +112,26 @@ std::string writeProgram(int Reps) {
   )";
 }
 
+/// Host wall-clock nanoseconds per simulation of \p CR under \p Engine
+/// (median-free mean over \p Iters runs after one warmup, which also pays
+/// the one-time bytecode lowering so it is not billed to either engine).
+double hostSimNs(Pipeline &P, const CompileResult &CR, ExecEngine Engine,
+                 int Iters) {
+  MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
+  MC.Engine = Engine;
+  RunResult Warm = P.run(CR, MC);
+  if (!Warm.OK) {
+    std::fprintf(stderr, "host-time benchmark failed: %s\n",
+                 Warm.Error.c_str());
+    return -1.0;
+  }
+  auto T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Iters; ++I)
+    P.run(CR, MC);
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(T1 - T0).count() / Iters;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -184,6 +206,23 @@ int main(int argc, char **argv) {
               "(paper threshold: 3)\n",
               Crossover);
 
+  // Host-side engine comparison: wall-clock time to simulate the largest
+  // Olden workload (health, optimized, 4 nodes) under the AST walker vs
+  // the bytecode engine. Simulated results are identical by construction
+  // (the engine-equivalence tests assert it); this measures only how fast
+  // the host reaches them.
+  const int SimIters = 3;
+  Pipeline SimP(workloadOptions(RunMode::Optimized));
+  CompileResult SimCR = SimP.compile(findWorkload("health")->Source);
+  double AstNs = hostSimNs(SimP, SimCR, ExecEngine::AST, SimIters);
+  double BcNs = hostSimNs(SimP, SimCR, ExecEngine::Bytecode, SimIters);
+  double Speedup = (AstNs > 0 && BcNs > 0) ? AstNs / BcNs : 0.0;
+  std::printf("\nHost simulation time (health, optimized, 4 nodes, "
+              "mean of %d runs):\n"
+              "  ast      %10.1f ms\n"
+              "  bytecode %10.1f ms   (%.2fx speedup)\n",
+              SimIters, AstNs / 1e6, BcNs / 1e6, Speedup);
+
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
     if (!Out) {
@@ -207,6 +246,13 @@ int main(int argc, char **argv) {
            "\"write_seq_ns\": 6458, \"write_pipe_ns\": 1749, "
            "\"blkmov_seq_ns\": 9700, \"blkmov_pipe_ns\": 2602, "
            "\"blocking_crossover_words\": 3},\n";
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"host_sim_ns\": {\"workload\": \"health\", "
+                  "\"mode\": \"optimized\", \"nodes\": 4, "
+                  "\"ast\": %.0f, \"bytecode\": %.0f, "
+                  "\"speedup\": %.2f},\n",
+                  AstNs, BcNs, Speedup);
+    Out << Buf;
     Out << "  \"counters\": " << Counters.stats().json() << "\n}\n";
     std::printf("\nwrote counter report to %s\n", JsonPath.c_str());
   }

@@ -8,6 +8,7 @@
 //   earthcc [options] program.ec
 //
 //   --nodes N           machine size (default 4)
+//   --engine E          execution engine: bytecode (default) or ast
 //   --no-opt            disable the communication optimization
 //   --seq               sequential-C baseline (1 node, no EARTH operations)
 //   --dump-ir           print the SIMPLE program before execution
@@ -37,7 +38,8 @@ using namespace earthcc;
 
 static void usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--nodes N] [--no-opt] [--seq] [--locality] [--dump-ir] "
+               "usage: %s [--nodes N] [--engine ast|bytecode] [--no-opt] "
+               "[--seq] [--locality] [--dump-ir] "
                "[--dump-after-pass] [--emit-threaded] [--stats] "
                "[--trace FILE] [--entry NAME] [--threshold W] program.ec\n",
                Argv0);
@@ -56,11 +58,23 @@ int main(int argc, char **argv) {
   std::string Path;
   std::string TracePath;
   unsigned Threshold = 3;
+  ExecEngine Engine = ExecEngine::Bytecode;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg == "--nodes" && I + 1 < argc) {
       Nodes = static_cast<unsigned>(std::atoi(argv[++I]));
+    } else if (Arg == "--engine" && I + 1 < argc) {
+      std::string E = argv[++I];
+      if (E == "ast") {
+        Engine = ExecEngine::AST;
+      } else if (E == "bytecode") {
+        Engine = ExecEngine::Bytecode;
+      } else {
+        std::fprintf(stderr, "error: unknown engine '%s' (ast|bytecode)\n",
+                     E.c_str());
+        return 2;
+      }
     } else if (Arg == "--no-opt") {
       Optimize = false;
     } else if (Arg == "--locality") {
@@ -128,6 +142,7 @@ int main(int argc, char **argv) {
   MachineConfig MC;
   MC.NumNodes = Sequential ? 1 : Nodes;
   MC.SequentialMode = Sequential;
+  MC.Engine = Engine;
   RunResult R = P.run(CR, MC, Entry);
   for (const std::string &Line : R.Output)
     std::printf("%s\n", Line.c_str());

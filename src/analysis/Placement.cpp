@@ -10,6 +10,7 @@
 #include <cassert>
 #include <cmath>
 #include <sstream>
+#include <unordered_map>
 
 using namespace earthcc;
 
@@ -40,27 +41,59 @@ const std::vector<RCE> &PlacementResult::writesAfter(const Stmt *S) const {
 
 namespace {
 
-/// Working set keyed by (base variable, word offset) so that tuples for the
-/// same location merge by summing frequencies and uniting Dlists.
+/// Working sets are keyed by (base variable, word offset) so that tuples
+/// for the same location merge by summing frequencies and uniting Dlists.
 using RCEKey = std::pair<const Var *, unsigned>;
-using RCESet = std::map<RCEKey, RCE>;
 
-void addToSet(const RCE &T, RCESet &Set) {
-  auto [It, Inserted] = Set.try_emplace({T.Base, T.Off}, T);
-  if (Inserted)
-    return;
-  RCE &Existing = It->second;
-  Existing.Freq += T.Freq;
-  std::vector<int> Merged;
-  std::set_union(Existing.DList.begin(), Existing.DList.end(),
-                 T.DList.begin(), T.DList.end(), std::back_inserter(Merged));
-  Existing.DList = std::move(Merged);
-}
+struct RCEKeyHash {
+  size_t operator()(const RCEKey &K) const {
+    return std::hash<const Var *>()(K.first) * 31 + K.second;
+  }
+};
+
+/// Hash-indexed flat set of RCE tuples: contiguous storage (cheap to scan,
+/// cheap to move tuples into) plus an unordered index for O(1) merging.
+/// Iteration order is insertion order, so it is NOT deterministic across
+/// allocation patterns — every output boundary goes through toVector(),
+/// which sorts by (variable id, offset).
+class RCESet {
+public:
+  /// Inserts \p T, or merges it into the tuple already recorded for its
+  /// location (frequencies add, Dlists unite).
+  void add(RCE T) {
+    auto [It, Inserted] = Index.try_emplace({T.Base, T.Off}, Items.size());
+    if (Inserted) {
+      Items.push_back(std::move(T));
+      return;
+    }
+    RCE &Existing = Items[It->second];
+    Existing.Freq += T.Freq;
+    std::vector<int> Merged;
+    Merged.reserve(Existing.DList.size() + T.DList.size());
+    std::set_union(Existing.DList.begin(), Existing.DList.end(),
+                   T.DList.begin(), T.DList.end(), std::back_inserter(Merged));
+    Existing.DList = std::move(Merged);
+  }
+
+  const RCE *find(const RCEKey &K) const {
+    auto It = Index.find(K);
+    return It == Index.end() ? nullptr : &Items[It->second];
+  }
+  bool contains(const RCEKey &K) const { return Index.count(K) != 0; }
+
+  size_t size() const { return Items.size(); }
+  std::vector<RCE>::const_iterator begin() const { return Items.begin(); }
+  std::vector<RCE>::const_iterator end() const { return Items.end(); }
+
+private:
+  std::vector<RCE> Items;
+  std::unordered_map<RCEKey, size_t, RCEKeyHash> Index;
+};
 
 std::vector<RCE> toVector(const RCESet &Set) {
   std::vector<RCE> Out;
   Out.reserve(Set.size());
-  for (const auto &[Key, T] : Set)
+  for (const RCE &T : Set)
     Out.push_back(T);
   // Deterministic order: by variable id, then offset.
   std::sort(Out.begin(), Out.end(), [](const RCE &A, const RCE &B) {
@@ -123,7 +156,7 @@ private:
         T.ValueTy = L.ValueTy;
         T.Freq = 1.0;
         T.DList = {S.label()};
-        addToSet(T, Out);
+        Out.add(std::move(T));
       }
       return Out;
     }
@@ -139,11 +172,9 @@ private:
       // Parallel sequence: branches are non-interfering; the set placeable
       // before the whole construct is the union of the branch tops.
       RCESet Out;
-      for (const auto &Branch : Seq.Stmts) {
-        RCESet B = collectReads(*Branch);
-        for (const auto &[Key, T] : B)
-          addToSet(T, Out);
-      }
+      for (const auto &Branch : Seq.Stmts)
+        for (const RCE &T : collectReads(*Branch))
+          Out.add(T);
       return Out;
     }
     case StmtKind::If: {
@@ -156,10 +187,10 @@ private:
       // safe); halve the frequency to reflect the branch.
       RCESet Out;
       for (const auto *Set : {&ThenSet, &ElseSet}) {
-        for (const auto &[Key, T] : *Set) {
+        for (const RCE &T : *Set) {
           RCE Adjusted = T;
           Adjusted.Freq = T.Freq / 2.0;
-          addToSet(Adjusted, Out);
+          Out.add(std::move(Adjusted));
         }
       }
       return Out;
@@ -175,10 +206,10 @@ private:
       double N = static_cast<double>(Alternatives.size());
       RCESet Out;
       for (const RCESet &Set : Alternatives) {
-        for (const auto &[Key, T] : Set) {
+        for (const RCE &T : Set) {
           RCE Adjusted = T;
           Adjusted.Freq = T.Freq / N;
-          addToSet(Adjusted, Out);
+          Out.add(std::move(Adjusted));
         }
       }
       return Out;
@@ -191,10 +222,10 @@ private:
     case StmtKind::Forall: {
       const auto &Fa = castStmt<ForallStmt>(S);
       RCESet Combined = collectReadsSeq(*Fa.Init);
-      for (const auto &[Key, T] : collectReadsSeq(*Fa.Step))
-        addToSet(T, Combined);
-      for (const auto &[Key, T] : collectReadsSeq(*Fa.Body))
-        addToSet(T, Combined);
+      for (const RCE &T : collectReadsSeq(*Fa.Step))
+        Combined.add(T);
+      for (const RCE &T : collectReadsSeq(*Fa.Body))
+        Combined.add(T);
       return hoistOutOfLoop(Combined, S);
     }
     }
@@ -204,12 +235,12 @@ private:
   /// Filters \p BodySet by the loop's kill set and scales frequencies.
   RCESet hoistOutOfLoop(const RCESet &BodySet, const Stmt &Loop) {
     RCESet Out;
-    for (const auto &[Key, T] : BodySet) {
+    for (const RCE &T : BodySet) {
       if (killsRead(T, Loop))
         continue;
       RCE Adjusted = T;
       Adjusted.Freq = T.Freq * Opts.LoopFrequencyFactor;
-      addToSet(Adjusted, Out);
+      Out.add(std::move(Adjusted));
     }
     return Out;
   }
@@ -224,9 +255,9 @@ private:
     for (size_t I = Seq.Stmts.size() - 1; I-- > 0;) {
       const Stmt &Pred = *Seq.Stmts[I];
       RCESet PredSet = collectReads(Pred);
-      for (const auto &[Key, T] : Curr)
+      for (const RCE &T : Curr)
         if (!killsRead(T, Pred))
-          addToSet(T, PredSet);
+          PredSet.add(T);
       Curr = std::move(PredSet);
       Result.BeforeReads[&Pred] = toVector(Curr);
     }
@@ -250,7 +281,7 @@ private:
         T.ValueTy = nullptr;
         T.Freq = 1.0;
         T.DList = {S.label()};
-        addToSet(T, Out);
+        Out.add(std::move(T));
       }
       return Out;
     }
@@ -264,11 +295,9 @@ private:
       if (!Seq.Parallel)
         return collectWritesSeq(Seq);
       RCESet Out;
-      for (const auto &Branch : Seq.Stmts) {
-        RCESet B = collectWrites(*Branch);
-        for (const auto &[Key, T] : B)
-          addToSet(T, Out);
-      }
+      for (const auto &Branch : Seq.Stmts)
+        for (const RCE &T : collectWrites(*Branch))
+          Out.add(T);
       return Out;
     }
     case StmtKind::If: {
@@ -278,16 +307,16 @@ private:
       // Conservative: only writes present in BOTH alternatives may move
       // below the conditional (it is never safe to write spurious fields).
       RCESet Out;
-      for (const auto &[Key, T] : ThenSet) {
-        auto It = ElseSet.find(Key);
-        if (It == ElseSet.end())
+      for (const RCE &T : ThenSet) {
+        const RCE *Other = ElseSet.find({T.Base, T.Off});
+        if (!Other)
           continue;
         RCE A = T;
         A.Freq = T.Freq / 2.0;
-        addToSet(A, Out);
-        RCE B = It->second;
+        Out.add(std::move(A));
+        RCE B = *Other;
         B.Freq = B.Freq / 2.0;
-        addToSet(B, Out);
+        Out.add(std::move(B));
       }
       return Out;
     }
@@ -301,16 +330,17 @@ private:
         return {};
       double N = static_cast<double>(Alternatives.size());
       RCESet Out;
-      for (const auto &[Key, T] : Alternatives.front()) {
+      for (const RCE &T : Alternatives.front()) {
+        RCEKey Key{T.Base, T.Off};
         bool InAll = true;
         for (size_t I = 1; I < Alternatives.size() && InAll; ++I)
-          InAll = Alternatives[I].count(Key) != 0;
+          InAll = Alternatives[I].contains(Key);
         if (!InAll)
           continue;
         for (const RCESet &Set : Alternatives) {
-          RCE A = Set.at(Key);
+          RCE A = *Set.find(Key);
           A.Freq /= N;
-          addToSet(A, Out);
+          Out.add(std::move(A));
         }
       }
       return Out;
@@ -343,9 +373,9 @@ private:
     for (size_t I = 1; I != Seq.Stmts.size(); ++I) {
       const Stmt &Succ = *Seq.Stmts[I];
       RCESet SuccSet = collectWrites(Succ);
-      for (const auto &[Key, T] : Curr)
+      for (const RCE &T : Curr)
         if (!killsWrite(T, Succ))
-          addToSet(T, SuccSet);
+          SuccSet.add(T);
       Curr = std::move(SuccSet);
       Result.AfterWrites[&Succ] = toVector(Curr);
     }

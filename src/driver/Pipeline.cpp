@@ -8,6 +8,8 @@
 
 #include "analysis/Locality.h"
 #include "frontend/Simplify.h"
+#include "interp/Bytecode.h"
+#include "interp/Lower.h"
 #include "simple/Printer.h"
 #include "simple/Verifier.h"
 
@@ -116,6 +118,22 @@ CompileResult Pipeline::compile(const std::string &Source) {
     if (!OK)
       return R;
   }
+
+  // Pre-lower to the register bytecode (the default execution engine).
+  // getOrLowerBytecode memoizes the result on the Module, so this stage
+  // pays the lowering cost exactly once and every subsequent run() — at any
+  // machine size — dispatches straight over the cached opcode streams.
+  OK = runStage("lower", R, [&](Statistics &S) {
+    const BytecodeModule &BM = getOrLowerBytecode(*R.M);
+    size_t Insns = 0;
+    for (const auto &BF : BM.Funcs)
+      Insns += BF->Code.size();
+    S.add("lower.functions", BM.Funcs.size());
+    S.add("lower.instructions", Insns);
+    return true;
+  });
+  if (!OK)
+    return R;
 
   R.OK = true;
   return R;

@@ -119,10 +119,20 @@ struct OpCounters {
   uint64_t total() const { return ReadData + WriteData + BlkMov; }
 };
 
+/// Which execution engine runs the simulation. Both produce bit-identical
+/// simulated results (time, counters, traces, errors); they differ only in
+/// host-side speed. Bytecode lowers each function once to a flat register
+/// bytecode (see interp/Bytecode.h) and is the default; AST walks the
+/// statement tree directly and remains as the reference implementation.
+enum class ExecEngine { AST, Bytecode };
+
 /// Machine configuration.
 struct MachineConfig {
   unsigned NumNodes = 1;
   CostModel Costs;
+  /// Execution engine selection (see ExecEngine). Purely a host-performance
+  /// choice; simulated results do not depend on it.
+  ExecEngine Engine = ExecEngine::Bytecode;
   /// Sequential mode: every access is a plain local access (no EARTH
   /// primitives at all) — the paper's "Sequential C" baseline.
   bool SequentialMode = false;

@@ -6,6 +6,8 @@
 
 #include "interp/Interp.h"
 
+#include "interp/EngineCommon.h"
+#include "interp/Lower.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -16,6 +18,7 @@
 #include <queue>
 
 using namespace earthcc;
+using earthcc::interp::RuntimeFailure;
 
 namespace {
 
@@ -85,13 +88,6 @@ struct Event {
 /// at the given time. YieldAt means the step completed but the fiber must
 /// re-enter the scheduler (fiber migrated to another node); do not retry.
 enum class StepStatus { Continue, BlockRetry, YieldAt, WaitJoin, FiberDone };
-
-/// Unwinds to the event loop on runtime errors. The interpreter is a
-/// simulation sandbox, so this is a tool-level error path, not library
-/// control flow.
-struct RuntimeFailure {
-  std::string Message;
-};
 
 //===----------------------------------------------------------------------===//
 // Interpreter.
@@ -229,114 +225,36 @@ private:
   // Remote transaction timing (SU is a FIFO server per node).
   //===--------------------------------------------------------------------===
 
-  /// \p Op names the request kind for the target node's SU trace track;
-  /// callers always pass it, and the events only materialize when tracing.
+  /// \p SuLabel names the request kind for the target node's SU trace
+  /// track. It is one of the pre-interned "su:<op>" literals from
+  /// EngineCommon.h (prefixed so CounterTraceSink keeps SU service slices
+  /// distinct from the issuing node's in-flight span for the same
+  /// operation) — callers pass the constant, so the trace path never
+  /// builds a string per transaction.
   double transactionComplete(double IssueEnd, unsigned To, double Service,
-                             double ExtraWords = 0.0,
-                             const char *Op = "request") {
+                             double ExtraWords, const char *SuLabel) {
     double Arrival = IssueEnd + cost().NetDelay;
     double SuStart = std::max(SUClock[To], Arrival);
     double SuEnd = SuStart + Service + cost().PerWord * ExtraWords;
     SUClock[To] = SuEnd;
     if (Trc) {
-      // Prefixed so CounterTraceSink keeps SU service slices distinct from
-      // the issuing node's in-flight span for the same operation.
-      traceSpan((std::string("su:") + Op).c_str(), "su", SuStart,
-                SuEnd - SuStart, To, TraceTidSU);
+      traceSpan(SuLabel, "su", SuStart, SuEnd - SuStart, To, TraceTidSU);
       traceClock("su-clock", SuEnd, To, TraceTidSU, SuEnd);
     }
     return SuEnd + cost().NetDelay;
   }
 
   //===--------------------------------------------------------------------===
-  // Pure value computation.
+  // Pure value computation (shared with the bytecode engine so the two can
+  // never drift — see EngineCommon.h).
   //===--------------------------------------------------------------------===
 
-  static bool isNullish(const RtValue &V) {
-    return (V.K == RtValue::Kind::Int && V.I == 0) ||
-           (V.K == RtValue::Kind::Ptr && V.P.isNull());
-  }
-
   RtValue evalBinary(BinaryOp Op, const RtValue &A, const RtValue &B) {
-    if (A.K == RtValue::Kind::Ptr || B.K == RtValue::Kind::Ptr) {
-      bool Eq;
-      if (A.K == RtValue::Kind::Ptr && B.K == RtValue::Kind::Ptr)
-        Eq = A.P == B.P;
-      else if (A.K == RtValue::Kind::Ptr)
-        Eq = A.P.isNull() && isNullish(B);
-      else
-        Eq = B.P.isNull() && isNullish(A);
-      if (Op == BinaryOp::Eq)
-        return RtValue::makeInt(Eq ? 1 : 0);
-      if (Op == BinaryOp::Ne)
-        return RtValue::makeInt(Eq ? 0 : 1);
-      runtimeError("invalid pointer arithmetic");
-    }
-
-    if (A.K == RtValue::Kind::Dbl || B.K == RtValue::Kind::Dbl) {
-      double X = A.K == RtValue::Kind::Dbl ? A.D : static_cast<double>(A.I);
-      double Y = B.K == RtValue::Kind::Dbl ? B.D : static_cast<double>(B.I);
-      switch (Op) {
-      case BinaryOp::Add: return RtValue::makeDbl(X + Y);
-      case BinaryOp::Sub: return RtValue::makeDbl(X - Y);
-      case BinaryOp::Mul: return RtValue::makeDbl(X * Y);
-      case BinaryOp::Div:
-        if (Y == 0.0)
-          runtimeError("floating division by zero");
-        return RtValue::makeDbl(X / Y);
-      case BinaryOp::Rem:
-        runtimeError("'%' on doubles");
-      case BinaryOp::Lt: return RtValue::makeInt(X < Y);
-      case BinaryOp::Le: return RtValue::makeInt(X <= Y);
-      case BinaryOp::Gt: return RtValue::makeInt(X > Y);
-      case BinaryOp::Ge: return RtValue::makeInt(X >= Y);
-      case BinaryOp::Eq: return RtValue::makeInt(X == Y);
-      case BinaryOp::Ne: return RtValue::makeInt(X != Y);
-      case BinaryOp::And: return RtValue::makeInt(X != 0.0 && Y != 0.0);
-      case BinaryOp::Or: return RtValue::makeInt(X != 0.0 || Y != 0.0);
-      }
-    }
-
-    int64_t X = A.I, Y = B.I;
-    switch (Op) {
-    case BinaryOp::Add: return RtValue::makeInt(X + Y);
-    case BinaryOp::Sub: return RtValue::makeInt(X - Y);
-    case BinaryOp::Mul: return RtValue::makeInt(X * Y);
-    case BinaryOp::Div:
-      if (Y == 0)
-        runtimeError("integer division by zero");
-      return RtValue::makeInt(X / Y);
-    case BinaryOp::Rem:
-      if (Y == 0)
-        runtimeError("integer remainder by zero");
-      return RtValue::makeInt(X % Y);
-    case BinaryOp::Lt: return RtValue::makeInt(X < Y);
-    case BinaryOp::Le: return RtValue::makeInt(X <= Y);
-    case BinaryOp::Gt: return RtValue::makeInt(X > Y);
-    case BinaryOp::Ge: return RtValue::makeInt(X >= Y);
-    case BinaryOp::Eq: return RtValue::makeInt(X == Y);
-    case BinaryOp::Ne: return RtValue::makeInt(X != Y);
-    case BinaryOp::And: return RtValue::makeInt(X != 0 && Y != 0);
-    case BinaryOp::Or: return RtValue::makeInt(X != 0 || Y != 0);
-    }
-    runtimeError("bad binary operator");
+    return interp::evalBinary(Op, A, B);
   }
 
   RtValue evalUnary(UnaryOp Op, const RtValue &A) {
-    switch (Op) {
-    case UnaryOp::Neg:
-      return A.K == RtValue::Kind::Dbl ? RtValue::makeDbl(-A.D)
-                                       : RtValue::makeInt(-A.I);
-    case UnaryOp::Not:
-      return RtValue::makeInt(A.truthy() ? 0 : 1);
-    case UnaryOp::IntToDouble:
-      return RtValue::makeDbl(static_cast<double>(A.I));
-    case UnaryOp::DoubleToInt:
-      return A.K == RtValue::Kind::Dbl
-                 ? RtValue::makeInt(static_cast<int64_t>(A.D))
-                 : A;
-    }
-    runtimeError("bad unary operator");
+    return interp::evalUnary(Op, A);
   }
 
   /// Availability of everything a pure (condition-style) RValue reads.
@@ -480,7 +398,7 @@ private:
       ++Ctr.WordsMoved;
       double DoneAt =
           transactionComplete(Now, Addr.Node, cost().SUReadService, 0.0,
-                              "read-data");
+                              interp::SuReadDataLabel);
       if (Trc)
         traceSpan("read-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
@@ -564,7 +482,7 @@ private:
       ++Ctr.WordsMoved;
       double DoneAt =
           transactionComplete(Now, Addr.Node, cost().SUWriteService, 0.0,
-                              "write-data");
+                              interp::SuWriteDataLabel);
       if (Trc)
         traceSpan("write-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
@@ -630,7 +548,7 @@ private:
     Now += cost().BlkIssue;
     Ctr.WordsMoved += B.Words;
     double DoneAt = transactionComplete(Now, Addr.Node, cost().SUBlkService,
-                                        B.Words, "blkmov");
+                                        B.Words, interp::SuBlkMovLabel);
     if (Trc)
       traceSpan("blkmov", "comm", IssueStart, DoneAt - IssueStart, Fr.Node,
                 TraceTidComm,
@@ -682,7 +600,7 @@ private:
         Now += cost().WriteIssue;
         double DoneAt = transactionComplete(Now, Addr.Node,
                                             cost().SUAtomicService, 0.0,
-                                            "atomic");
+                                            interp::SuAtomicLabel);
         if (Trc)
           traceSpan("atomic", "comm", IssueStart, DoneAt - IssueStart,
                     Fr.Node, TraceTidComm,
@@ -705,7 +623,7 @@ private:
         Now += cost().ReadIssue;
         Dst.AvailAt = transactionComplete(Now, Addr.Node,
                                           cost().SUAtomicService, 0.0,
-                                          "atomic");
+                                          interp::SuAtomicLabel);
         if (Trc)
           traceSpan("atomic", "comm", IssueStart, Dst.AvailAt - IssueStart,
                     Fr.Node, TraceTidComm,
@@ -1244,5 +1162,7 @@ RunResult Interp::run(const std::string &Entry,
 RunResult earthcc::runProgram(const Module &M, const MachineConfig &Config,
                               const std::string &Entry,
                               const std::vector<RtValue> &Args) {
+  if (Config.Engine == ExecEngine::Bytecode)
+    return runProgramBytecode(getOrLowerBytecode(M), Config, Entry, Args);
   return Interp(M, Config).run(Entry, Args);
 }

@@ -102,10 +102,20 @@ public:
   Var *findGlobal(const std::string &Name) const;
   const std::vector<std::unique_ptr<Var>> &globals() const { return Globals; }
 
+  /// Opaque per-module cache slot for execution-engine artifacts (the
+  /// lowered bytecode form). Owned by the module so the cache can never
+  /// outlive it or alias another module; mutable so lowering can memoize
+  /// behind a const reference. Typed void to keep the IR layer independent
+  /// of the interpreter. Invalidated by any transform that mutates the IR
+  /// after lowering (the driver lowers last, so this does not arise in the
+  /// standard pipeline).
+  std::shared_ptr<void> &execCache() const { return ExecCache; }
+
 private:
   TypeContext Types;
   std::vector<std::unique_ptr<Function>> Funcs;
   std::vector<std::unique_ptr<Var>> Globals;
+  mutable std::shared_ptr<void> ExecCache;
   unsigned NextGlobalId = 1u << 20; ///< Disjoint from function-local ids.
 };
 

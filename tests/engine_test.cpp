@@ -1,0 +1,200 @@
+//===- engine_test.cpp - AST vs bytecode engine equivalence ---------------===//
+//
+// Part of the earthcc project.
+//
+// The bytecode engine must be an observationally perfect stand-in for the
+// AST walker: for every workload, input size and machine size, both engines
+// must produce the same simulated time, exit value, operation counters,
+// step count, program output and byte-identical Chrome traces. These tests
+// sweep all five Olden benchmarks at two input sizes and 1/2/4 nodes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/Bytecode.h"
+#include "interp/Lower.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace earthcc;
+
+namespace {
+
+/// Replaces the first occurrence of \p From in \p S with \p To; fails the
+/// test if the needle is missing (a workload source changed under us).
+std::string replaceOnce(std::string S, const std::string &From,
+                        const std::string &To) {
+  size_t Pos = S.find(From);
+  EXPECT_NE(Pos, std::string::npos) << "missing literal: " << From;
+  if (Pos != std::string::npos)
+    S.replace(Pos, From.size(), To);
+  return S;
+}
+
+/// A reduced-size variant of \p W's source: each benchmark's build call is
+/// rewritten to a smaller tree / fewer simulated steps so the equivalence
+/// sweep covers two distinct input sizes per program.
+std::string smallSource(const Workload &W) {
+  if (W.Name == "power")
+    return replaceOnce(W.Source, "build(16, 4, 4, 4)", "build(8, 2, 2, 2)");
+  if (W.Name == "health")
+    return replaceOnce(replaceOnce(W.Source, "build(3, NULL, 0, 0)",
+                                   "build(2, NULL, 0, 0)"),
+                       "t < 24", "t < 8");
+  if (W.Name == "perimeter")
+    return replaceOnce(W.Source, "maketree(6, 128, 128, 256, NULL, 0, 0)",
+                       "maketree(4, 128, 128, 256, NULL, 0, 0)");
+  if (W.Name == "tsp")
+    return replaceOnce(W.Source, "build_tree(10, 0.0, 256.0, 7, 0)",
+                       "build_tree(7, 0.0, 256.0, 7, 0)");
+  if (W.Name == "voronoi")
+    return replaceOnce(W.Source, "build_tree(10, 0.0, 512.0, 13, 0)",
+                       "build_tree(7, 0.0, 512.0, 13, 0)");
+  ADD_FAILURE() << "unknown workload " << W.Name;
+  return W.Source;
+}
+
+/// Runs \p M under \p Engine with a fresh trace sink and returns the result
+/// plus the serialized trace.
+std::pair<RunResult, std::string> runWith(Pipeline &P, const Module &M,
+                                          MachineConfig MC,
+                                          ExecEngine Engine) {
+  ChromeTraceSink Sink;
+  MC.Engine = Engine;
+  MC.Trace = &Sink;
+  RunResult R = P.run(M, MC);
+  return {std::move(R), Sink.json()};
+}
+
+/// Asserts the two engines' results are indistinguishable.
+void expectIdentical(const std::pair<RunResult, std::string> &Ast,
+                     const std::pair<RunResult, std::string> &Bc,
+                     const std::string &What) {
+  const RunResult &A = Ast.first;
+  const RunResult &B = Bc.first;
+  ASSERT_EQ(A.OK, B.OK) << What << ": " << A.Error << " / " << B.Error;
+  EXPECT_EQ(A.Error, B.Error) << What;
+  EXPECT_DOUBLE_EQ(A.TimeNs, B.TimeNs) << What;
+  EXPECT_EQ(A.ExitValue.K, B.ExitValue.K) << What;
+  EXPECT_EQ(A.ExitValue.I, B.ExitValue.I) << What;
+  EXPECT_DOUBLE_EQ(A.ExitValue.D, B.ExitValue.D) << What;
+  EXPECT_EQ(A.StepsExecuted, B.StepsExecuted) << What;
+  EXPECT_EQ(A.Output, B.Output) << What;
+  EXPECT_EQ(A.Counters.ReadData, B.Counters.ReadData) << What;
+  EXPECT_EQ(A.Counters.WriteData, B.Counters.WriteData) << What;
+  EXPECT_EQ(A.Counters.BlkMov, B.Counters.BlkMov) << What;
+  EXPECT_EQ(A.Counters.Atomic, B.Counters.Atomic) << What;
+  EXPECT_EQ(A.Counters.WordsMoved, B.Counters.WordsMoved) << What;
+  EXPECT_EQ(A.Counters.LocalFallbacks, B.Counters.LocalFallbacks) << What;
+  EXPECT_EQ(A.Counters.Spawns, B.Counters.Spawns) << What;
+  EXPECT_EQ(A.Counters.CtxSwitches, B.Counters.CtxSwitches) << What;
+  EXPECT_EQ(A.WordsPerNode, B.WordsPerNode) << What;
+  EXPECT_EQ(Ast.second, Bc.second) << What << ": traces diverge";
+}
+
+class EngineEquivalenceTest : public ::testing::TestWithParam<std::string> {
+protected:
+  const Workload &workload() const {
+    const Workload *W = findWorkload(GetParam());
+    EXPECT_NE(W, nullptr);
+    return *W;
+  }
+
+  /// Compiles \p Source once per mode and sweeps 1/2/4 nodes, comparing
+  /// the engines at every configuration.
+  void sweep(const std::string &Source, const std::string &SizeTag) {
+    for (RunMode Mode : {RunMode::Simple, RunMode::Optimized}) {
+      Pipeline P(workloadOptions(Mode));
+      CompileResult CR = P.compile(Source);
+      ASSERT_TRUE(CR.OK) << CR.Messages;
+      for (unsigned Nodes : {1u, 2u, 4u}) {
+        MachineConfig MC = workloadMachine(Mode, Nodes);
+        std::string What = GetParam() + "/" + SizeTag +
+                           (Mode == RunMode::Simple ? "/simple/" : "/opt/") +
+                           std::to_string(Nodes) + "n";
+        auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
+        auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
+        expectIdentical(Ast, Bc, What);
+      }
+    }
+  }
+};
+
+TEST_P(EngineEquivalenceTest, FullSize) { sweep(workload().Source, "full"); }
+
+TEST_P(EngineEquivalenceTest, SmallSize) {
+  sweep(smallSource(workload()), "small");
+}
+
+// The sequential baseline exercises the no-EARTH code path (local accesses
+// only, no spawn costs) — equivalence must hold there too.
+TEST_P(EngineEquivalenceTest, SequentialBaseline) {
+  Pipeline P(workloadOptions(RunMode::Sequential));
+  CompileResult CR = P.compile(workload().Source);
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+  MachineConfig MC = workloadMachine(RunMode::Sequential, 1);
+  auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
+  auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
+  expectIdentical(Ast, Bc, GetParam() + "/sequential");
+}
+
+// Preemption-boundary stress: quantum values that force slice expiry at
+// different step phases must not break equivalence (the quantum counts
+// interpreter steps, so this pins the one-instruction-per-step invariant).
+TEST_P(EngineEquivalenceTest, QuantumSweep) {
+  Pipeline P(workloadOptions(RunMode::Optimized));
+  CompileResult CR = P.compile(smallSource(workload()));
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+  for (unsigned Quantum : {1u, 3u, 17u, 0u}) {
+    MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
+    MC.EUQuantum = Quantum;
+    std::string What =
+        GetParam() + "/quantum=" + std::to_string(Quantum);
+    auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
+    auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
+    expectIdentical(Ast, Bc, What);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Olden, EngineEquivalenceTest,
+                         ::testing::Values("power", "perimeter", "tsp",
+                                           "health", "voronoi"),
+                         [](const auto &Info) { return Info.param; });
+
+// Lowering is cached on the Module: repeated bytecode runs must reuse one
+// BytecodeModule instance rather than re-lowering per run.
+TEST(EngineCacheTest, LoweringIsCachedAcrossRuns) {
+  const Workload *W = findWorkload("power");
+  ASSERT_NE(W, nullptr);
+  Pipeline P(workloadOptions(RunMode::Optimized));
+  CompileResult CR = P.compile(W->Source);
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+  const BytecodeModule &First = getOrLowerBytecode(*CR.M);
+  RunResult R = P.run(*CR.M, workloadMachine(RunMode::Optimized, 2));
+  ASSERT_TRUE(R.OK) << R.Error;
+  const BytecodeModule &Second = getOrLowerBytecode(*CR.M);
+  EXPECT_EQ(&First, &Second) << "lowering must be memoized on the Module";
+  EXPECT_EQ(First.M, CR.M.get());
+}
+
+// Runtime errors must be reported with identical text through both engines.
+TEST(EngineErrorTest, IdenticalDiagnostics) {
+  Pipeline P(workloadOptions(RunMode::Simple));
+  CompileResult CR = P.compile("int main() { int x; x = 1; return x; }");
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+  for (const char *Entry : {"missing", "main"}) {
+    MachineConfig MC = workloadMachine(RunMode::Simple, 1);
+    ChromeTraceSink SA, SB;
+    MC.Engine = ExecEngine::AST;
+    MC.Trace = &SA;
+    RunResult A = P.run(*CR.M, MC, Entry);
+    MC.Engine = ExecEngine::Bytecode;
+    MC.Trace = &SB;
+    RunResult B = P.run(*CR.M, MC, Entry);
+    EXPECT_EQ(A.OK, B.OK) << Entry;
+    EXPECT_EQ(A.Error, B.Error) << Entry;
+    EXPECT_EQ(SA.json(), SB.json()) << Entry;
+  }
+}
+
+} // namespace

@@ -121,8 +121,8 @@ TEST(PipelineTest, StageReports) {
   Pipeline P(PipelineOptions::optimized());
   CompileResult CR = P.compile(Program);
   ASSERT_TRUE(CR.OK);
-  EXPECT_EQ(stageNames(P),
-            (std::vector<std::string>{"simplify", "verify", "comm-select"}));
+  EXPECT_EQ(stageNames(P), (std::vector<std::string>{"simplify", "verify",
+                                                     "comm-select", "lower"}));
   for (const StageReport &S : P.stages())
     EXPECT_GT(S.WallNs, 0.0) << S.Name;
 
@@ -132,12 +132,13 @@ TEST(PipelineTest, StageReports) {
   EXPECT_EQ(CR.Stats.get("simplify.functions"),
             Simplify.get("simplify.functions"));
   EXPECT_GT(CR.Stats.get("placement.read_tuples"), 0u);
+  EXPECT_GT(CR.Stats.get("lower.instructions"), 0u);
 
   // The simple preset skips communication selection; locality is opt-in.
   Pipeline SimpleP(PipelineOptions::simple());
   ASSERT_TRUE(SimpleP.compile(Program).OK);
   EXPECT_EQ(stageNames(SimpleP),
-            (std::vector<std::string>{"simplify", "verify"}));
+            (std::vector<std::string>{"simplify", "verify", "lower"}));
 
   PipelineOptions WithLocality;
   WithLocality.InferLocality = true;
@@ -145,7 +146,7 @@ TEST(PipelineTest, StageReports) {
   ASSERT_TRUE(LocalityP.compile(Program).OK);
   EXPECT_EQ(stageNames(LocalityP),
             (std::vector<std::string>{"simplify", "verify", "locality",
-                                      "comm-select"}));
+                                      "comm-select", "lower"}));
 }
 
 TEST(PipelineTest, ObserverCallbackOrder) {
@@ -153,10 +154,11 @@ TEST(PipelineTest, ObserverCallbackOrder) {
   RecordingObserver Obs;
   P.addObserver(&Obs);
   ASSERT_TRUE(P.compile(Program).OK);
-  EXPECT_EQ(Obs.Log, (std::vector<std::string>{
-                         "start:simplify:nomod", "finish:simplify",
-                         "start:verify", "finish:verify", "start:comm-select",
-                         "finish:comm-select"}));
+  EXPECT_EQ(Obs.Log,
+            (std::vector<std::string>{
+                "start:simplify:nomod", "finish:simplify", "start:verify",
+                "finish:verify", "start:comm-select", "finish:comm-select",
+                "start:lower", "finish:lower"}));
 
   Obs.Log.clear();
   CompileResult CR = P.compile(Program);
