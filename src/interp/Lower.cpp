@@ -53,7 +53,8 @@ public:
   void run() {
     const SeqStmt &Body = BF.Fn->body();
     lowerSeqChildren(Body);
-    patch(emit(BcOp::EndSeq), &BcInsn::A, pc() + 1);
+    int32_t BodyEnd = emit(BcOp::EndSeq);
+    patch(BodyEnd, &BcInsn::A, BodyEnd + 1);
     RetPC = emit(BcOp::ImplicitRet);
     // Fiber-entry regions (parallel branches, forall bodies) go after the
     // main stream; lowering one may enqueue more.
@@ -290,7 +291,8 @@ private:
       }
       // A nested sequential sequence: children, then its pop step.
       lowerSeqChildren(Seq);
-      patch(emit(BcOp::EndSeq, &S), &BcInsn::A, pc() + 1);
+      int32_t SeqEnd = emit(BcOp::EndSeq, &S);
+      patch(SeqEnd, &BcInsn::A, SeqEnd + 1);
       return;
     }
     case StmtKind::If: {

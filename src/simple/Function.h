@@ -106,10 +106,15 @@ public:
   /// lowered bytecode form). Owned by the module so the cache can never
   /// outlive it or alias another module; mutable so lowering can memoize
   /// behind a const reference. Typed void to keep the IR layer independent
-  /// of the interpreter. Invalidated by any transform that mutates the IR
-  /// after lowering (the driver lowers last, so this does not arise in the
-  /// standard pipeline).
+  /// of the interpreter. Mutating transform entry points must call
+  /// invalidateExecCache() so stale bytecode can never run after the IR
+  /// changes.
   std::shared_ptr<void> &execCache() const { return ExecCache; }
+
+  /// Drops any memoized execution-engine artifact. Must be called by every
+  /// transform that mutates the IR, so a lowering performed earlier cannot
+  /// silently diverge from the code that would execute.
+  void invalidateExecCache() const { ExecCache.reset(); }
 
 private:
   TypeContext Types;

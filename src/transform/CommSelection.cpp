@@ -667,6 +667,7 @@ bool earthcc::optimizeFunctionCommunication(Module &M, Function &F,
                                             const CommOptions &Opts,
                                             Statistics &Stats,
                                             std::vector<std::string> &Errors) {
+  M.invalidateExecCache(); // The IR is about to change; drop stale bytecode.
   F.relabel();
   Selector(M, F, Opts, Stats).run();
   return verifyFunction(M, F, Errors);
