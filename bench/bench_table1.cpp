@@ -18,7 +18,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "interp/Lower.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "workloads/Workloads.h"
 
@@ -116,18 +118,33 @@ std::string writeProgram(int Reps) {
 /// (median-free mean over \p Iters runs after one warmup, which also pays
 /// the one-time bytecode lowering so it is not billed to either engine).
 double hostSimNs(Pipeline &P, const CompileResult &CR, ExecEngine Engine,
-                 int Iters) {
+                 int Iters, bool Fuse = true, RunResult *Last = nullptr) {
   MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
   MC.Engine = Engine;
+  MC.Fuse = Fuse;
   RunResult Warm = P.run(CR, MC);
   if (!Warm.OK) {
     std::fprintf(stderr, "host-time benchmark failed: %s\n",
                  Warm.Error.c_str());
     return -1.0;
   }
+  if (Last)
+    *Last = Warm;
   auto T0 = std::chrono::steady_clock::now();
   for (int I = 0; I != Iters; ++I)
     P.run(CR, MC);
+  auto T1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(T1 - T0).count() / Iters;
+}
+
+/// Mean host nanoseconds for one from-scratch lowering of \p M at
+/// \p Threads workers (fresh BytecodeModule each time — this deliberately
+/// bypasses the module's lowering cache).
+double lowerNs(const Module &M, unsigned Threads, int Iters) {
+  lowerModule(M, Threads); // warmup
+  auto T0 = std::chrono::steady_clock::now();
+  for (int I = 0; I != Iters; ++I)
+    lowerModule(M, Threads);
   auto T1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::nano>(T1 - T0).count() / Iters;
 }
@@ -215,13 +232,36 @@ int main(int argc, char **argv) {
   Pipeline SimP(workloadOptions(RunMode::Optimized));
   CompileResult SimCR = SimP.compile(findWorkload("health")->Source);
   double AstNs = hostSimNs(SimP, SimCR, ExecEngine::AST, SimIters);
-  double BcNs = hostSimNs(SimP, SimCR, ExecEngine::Bytecode, SimIters);
+  RunResult FusedRun;
+  double BcNs =
+      hostSimNs(SimP, SimCR, ExecEngine::Bytecode, SimIters, true, &FusedRun);
+  double BcPlainNs =
+      hostSimNs(SimP, SimCR, ExecEngine::Bytecode, SimIters, false);
   double Speedup = (AstNs > 0 && BcNs > 0) ? AstNs / BcNs : 0.0;
   std::printf("\nHost simulation time (health, optimized, 4 nodes, "
               "mean of %d runs):\n"
-              "  ast      %10.1f ms\n"
-              "  bytecode %10.1f ms   (%.2fx speedup)\n",
-              SimIters, AstNs / 1e6, BcNs / 1e6, Speedup);
+              "  ast               %10.1f ms\n"
+              "  bytecode          %10.1f ms   (%.2fx speedup)\n"
+              "  bytecode --fuse=off %8.1f ms\n"
+              "  fused dispatches %llu covering %llu steps "
+              "(%.1f%% of %llu total)\n",
+              SimIters, AstNs / 1e6, BcNs / 1e6, Speedup, BcPlainNs / 1e6,
+              (unsigned long long)FusedRun.FusedDispatches,
+              (unsigned long long)FusedRun.FusedSteps,
+              FusedRun.StepsExecuted
+                  ? 100.0 * FusedRun.FusedSteps / FusedRun.StepsExecuted
+                  : 0.0,
+              (unsigned long long)FusedRun.StepsExecuted);
+
+  // Parallel lowering: host time of the lower stage itself, serial vs all
+  // hardware threads (identical output — the determinism test pins it).
+  const unsigned LowerPar = ThreadPool::hardwareThreads();
+  double LowerSerialNs = lowerNs(*SimCR.M, 1, SimIters);
+  double LowerParNs = lowerNs(*SimCR.M, LowerPar, SimIters);
+  std::printf("\nBytecode lowering time (health module, mean of %d):\n"
+              "  serial          %10.1f us\n"
+              "  %2u thread(s)    %10.1f us\n",
+              SimIters, LowerSerialNs / 1e3, LowerPar, LowerParNs / 1e3);
 
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
@@ -250,8 +290,20 @@ int main(int argc, char **argv) {
                   "  \"host_sim_ns\": {\"workload\": \"health\", "
                   "\"mode\": \"optimized\", \"nodes\": 4, "
                   "\"ast\": %.0f, \"bytecode\": %.0f, "
-                  "\"speedup\": %.2f},\n",
-                  AstNs, BcNs, Speedup);
+                  "\"bytecode_unfused\": %.0f, \"speedup\": %.2f},\n",
+                  AstNs, BcNs, BcPlainNs, Speedup);
+    Out << Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"fused\": {\"dispatches\": %llu, \"steps\": %llu, "
+                  "\"total_steps\": %llu},\n",
+                  (unsigned long long)FusedRun.FusedDispatches,
+                  (unsigned long long)FusedRun.FusedSteps,
+                  (unsigned long long)FusedRun.StepsExecuted);
+    Out << Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"lower_ns\": {\"serial\": %.0f, \"parallel\": %.0f, "
+                  "\"parallel_threads\": %u},\n",
+                  LowerSerialNs, LowerParNs, LowerPar);
     Out << Buf;
     Out << "  \"counters\": " << Counters.stats().json() << "\n}\n";
     std::printf("\nwrote counter report to %s\n", JsonPath.c_str());

@@ -9,6 +9,11 @@
 //
 //   --nodes N           machine size (default 4)
 //   --engine E          execution engine: bytecode (default) or ast
+//   --fuse on|off       superinstruction fusion in the bytecode engine
+//                       (default on; simulated results are identical
+//                       either way — this is a host-speed knob)
+//   --lower-threads N   worker threads for bytecode lowering (default 1;
+//                       0 = all hardware threads; output is identical)
 //   --no-opt            disable the communication optimization
 //   --seq               sequential-C baseline (1 node, no EARTH operations)
 //   --dump-ir           print the SIMPLE program before execution
@@ -38,7 +43,8 @@ using namespace earthcc;
 
 static void usage(const char *Argv0) {
   std::fprintf(stderr,
-               "usage: %s [--nodes N] [--engine ast|bytecode] [--no-opt] "
+               "usage: %s [--nodes N] [--engine ast|bytecode] "
+               "[--fuse on|off] [--lower-threads N] [--no-opt] "
                "[--seq] [--locality] [--dump-ir] "
                "[--dump-after-pass] [--emit-threaded] [--stats] "
                "[--trace FILE] [--entry NAME] [--threshold W] program.ec\n",
@@ -59,10 +65,44 @@ int main(int argc, char **argv) {
   std::string TracePath;
   unsigned Threshold = 3;
   ExecEngine Engine = ExecEngine::Bytecode;
+  bool Fuse = defaultFuseEnabled();
+  unsigned LowerThreads = 1;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg == "--nodes" && I + 1 < argc) {
+    // The new knobs accept --flag=value as well as --flag value.
+    std::string Inline;
+    if (Arg.rfind("--fuse=", 0) == 0 || Arg.rfind("--lower-threads=", 0) == 0) {
+      size_t Eq = Arg.find('=');
+      Inline = Arg.substr(Eq + 1);
+      Arg = Arg.substr(0, Eq);
+    }
+    auto Value = [&](const char *&Out) {
+      if (!Inline.empty()) {
+        Out = Inline.c_str();
+        return true;
+      }
+      if (I + 1 < argc) {
+        Out = argv[++I];
+        return true;
+      }
+      return false;
+    };
+    const char *V = nullptr;
+    if (Arg == "--fuse" && Value(V)) {
+      std::string F = V;
+      if (F == "on") {
+        Fuse = true;
+      } else if (F == "off") {
+        Fuse = false;
+      } else {
+        std::fprintf(stderr, "error: --fuse expects on|off, got '%s'\n",
+                     F.c_str());
+        return 2;
+      }
+    } else if (Arg == "--lower-threads" && Value(V)) {
+      LowerThreads = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--nodes" && I + 1 < argc) {
       Nodes = static_cast<unsigned>(std::atoi(argv[++I]));
     } else if (Arg == "--engine" && I + 1 < argc) {
       std::string E = argv[++I];
@@ -119,6 +159,7 @@ int main(int argc, char **argv) {
   PO.Optimize = Optimize && !Sequential;
   PO.InferLocality = Locality && !Sequential;
   PO.BlockThresholdWords = Threshold;
+  PO.LowerThreads = LowerThreads;
 
   Pipeline P(PO);
   ChromeTraceSink TraceSink;
@@ -143,6 +184,7 @@ int main(int argc, char **argv) {
   MC.NumNodes = Sequential ? 1 : Nodes;
   MC.SequentialMode = Sequential;
   MC.Engine = Engine;
+  MC.Fuse = Fuse;
   RunResult R = P.run(CR, MC, Entry);
   for (const std::string &Line : R.Output)
     std::printf("%s\n", Line.c_str());

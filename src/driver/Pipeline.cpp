@@ -12,6 +12,7 @@
 #include "interp/Lower.h"
 #include "simple/Printer.h"
 #include "simple/Verifier.h"
+#include "support/ThreadPool.h"
 
 using namespace earthcc;
 
@@ -124,12 +125,14 @@ CompileResult Pipeline::compile(const std::string &Source) {
   // pays the lowering cost exactly once and every subsequent run() — at any
   // machine size — dispatches straight over the cached opcode streams.
   OK = runStage("lower", R, [&](Statistics &S) {
-    const BytecodeModule &BM = getOrLowerBytecode(*R.M);
+    const BytecodeModule &BM = getOrLowerBytecode(*R.M, Opts.LowerThreads);
     size_t Insns = 0;
     for (const auto &BF : BM.Funcs)
       Insns += BF->Code.size();
     S.add("lower.functions", BM.Funcs.size());
     S.add("lower.instructions", Insns);
+    S.add("lower.threads", Opts.LowerThreads ? Opts.LowerThreads
+                                             : ThreadPool::hardwareThreads());
     return true;
   });
   if (!OK)

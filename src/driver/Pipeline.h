@@ -58,6 +58,11 @@ struct PipelineOptions : CommOptions {
   /// match the paper's "simple vs optimized" experiment, where locality
   /// handling is orthogonal prior work.
   bool InferLocality = false;
+  /// Worker threads for the per-function bytecode lowering stage: 1 lowers
+  /// serially on the caller's thread, 0 uses the host's hardware
+  /// concurrency, N uses N workers. Output is bit-identical at every
+  /// setting (see lowerModule); this is purely a host wall-clock knob.
+  unsigned LowerThreads = 1;
 
   PipelineOptions() = default;
   PipelineOptions(const CompileOptions &CO)

@@ -20,7 +20,9 @@
 
 #include <cassert>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace earthcc {
@@ -126,6 +128,18 @@ struct OpCounters {
 /// statement tree directly and remains as the reference implementation.
 enum class ExecEngine { AST, Bytecode };
 
+/// Process-wide default for MachineConfig::Fuse: on, unless the environment
+/// sets EARTHCC_FUSE=off|0. The CI sanitizer leg uses the variable to sweep
+/// the whole test suite over the unfused stream without touching every
+/// harness.
+inline bool defaultFuseEnabled() {
+  static const bool On = [] {
+    const char *E = std::getenv("EARTHCC_FUSE");
+    return !(E && (std::string_view(E) == "off" || std::string_view(E) == "0"));
+  }();
+  return On;
+}
+
 /// Machine configuration.
 struct MachineConfig {
   unsigned NumNodes = 1;
@@ -133,6 +147,13 @@ struct MachineConfig {
   /// Execution engine selection (see ExecEngine). Purely a host-performance
   /// choice; simulated results do not depend on it.
   ExecEngine Engine = ExecEngine::Bytecode;
+  /// Superinstruction fusion (bytecode engine only). When on, the engine
+  /// dispatches the fused stream, whose superinstructions execute several
+  /// walker steps per dispatch while accounting each one exactly — simulated
+  /// time, counters, step counts and traces are bit-identical either way.
+  /// Off forces the unfused one-instruction-per-step stream (differential
+  /// testing). Host-performance choice only.
+  bool Fuse = defaultFuseEnabled();
   /// Sequential mode: every access is a plain local access (no EARTH
   /// primitives at all) — the paper's "Sequential C" baseline.
   bool SequentialMode = false;

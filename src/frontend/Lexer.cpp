@@ -7,6 +7,7 @@
 #include "frontend/Lexer.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 #include <map>
 
@@ -218,7 +219,13 @@ Token Lexer::lexNumber(SourceLoc Loc) {
     T.DoubleValue = std::strtod(Text.c_str(), nullptr);
   } else {
     T.Kind = TokKind::IntLiteral;
-    T.IntValue = std::strtoll(Text.c_str(), nullptr, 10);
+    errno = 0;
+    char *End = nullptr;
+    T.IntValue = std::strtoll(Text.c_str(), &End, 10);
+    // Without this check strtoll silently saturates to LLONG_MAX, turning
+    // an out-of-range literal into a wrong-but-running program.
+    if (errno == ERANGE || End != Text.c_str() + Text.size())
+      Diags.error(Loc, "integer literal '" + Text + "' is out of range");
   }
   return T;
 }

@@ -94,9 +94,9 @@ enum class StepStatus { Continue, BlockRetry, YieldAt, WaitJoin, FiberDone };
 class BcInterp {
 public:
   BcInterp(const BytecodeModule &BM, const MachineConfig &Cfg)
-      : BM(BM), Cfg(Cfg), Trc(Cfg.Trace), Mem(std::max(1u, Cfg.NumNodes)),
-        EUClock(Mem.numNodes(), 0.0), SUClock(Mem.numNodes(), 0.0),
-        LastFiber(Mem.numNodes(), nullptr) {}
+      : BM(BM), Cfg(Cfg), Fuse(Cfg.Fuse), Trc(Cfg.Trace),
+        Mem(std::max(1u, Cfg.NumNodes)), EUClock(Mem.numNodes(), 0.0),
+        SUClock(Mem.numNodes(), 0.0), LastFiber(Mem.numNodes(), nullptr) {}
 
   RunResult run(const std::string &Entry, const std::vector<RtValue> &Args);
 
@@ -202,9 +202,11 @@ private:
     auto L = std::make_shared<BcLocals>();
     L->Words.resize(BF->FrameWords);
     L->Avail.assign(BF->Slots.size(), 0.0);
-    for (const BcSlot &S : BF->Slots)
-      if (S.SharedCell)
-        L->Words[S.WordOff] = RtValue::makePtr(Mem.allocate(Node, 1));
+    // SharedCellOffs lists the shared-variable cells in slot order — the
+    // same allocation order the per-slot scan (and the AST walker's
+    // makeLocals) produced.
+    for (uint32_t Off : BF->SharedCellOffs)
+      L->Words[Off] = RtValue::makePtr(Mem.allocate(Node, 1));
     return L;
   }
 
@@ -787,10 +789,10 @@ private:
     NewFr.ResultSlot = I.Dst;
     NewFr.Migrated = Migrates;
     Now += cost().CallCost;
+    // ParamWordOffs is the callee's lowering-time param-offset cache: one
+    // indexed load per argument instead of ParamSlots -> Slots -> WordOff.
     for (uint32_t J = 0; J != I.Words; ++J)
-      NewFr.Locals
-          ->Words[I.Callee->Slots[I.Callee->ParamSlots[J]].WordOff] =
-          valueOf(Fr, Args[J]);
+      NewFr.Locals->Words[I.Callee->ParamWordOffs[J]] = valueOf(Fr, Args[J]);
 
     if (!Migrates) {
       F->Stack.push_back(std::move(NewFr));
@@ -854,16 +856,63 @@ private:
   }
 
   //===--------------------------------------------------------------------===
-  // Instruction dispatch: one instruction == one AST-walker step.
+  // Superinstruction bodies. A fused dispatch executes up to \p Budget
+  // walker steps; every step it actually takes updates Now/state exactly as
+  // the plain opcode would, and the caller accounts the step count against
+  // the quantum and the fuel. When a later step of the pattern cannot run
+  // (not yet available, or out of budget), the dispatch stops with PC on
+  // the plain instruction that step corresponds to — the pattern tail is
+  // still in the stream — and ordinary stepping takes over.
   //===--------------------------------------------------------------------===
 
-  StepStatus step(Fiber *F, double &Now, double &BlockTime) {
+  /// One step of a FusedAssignRun (the isSimpleAssign shape: pure
+  /// slot-to-slot Opnd/Unary/Binary into a slot). Returns false without
+  /// touching any state when the operands are not available before \p Now,
+  /// with \p Need set to the availability time — the plain Assign's
+  /// BlockRetry condition.
+  bool execSimpleAssignStep(BcFrame &Fr, const BcInsn &A, double &Now,
+                            double &Need) {
+    const auto RK = static_cast<RValueKind>(A.RK);
+    Need = availOf(Fr, A.X);
+    if (RK == RValueKind::Binary)
+      Need = std::max(Need, availOf(Fr, A.Y));
+    if (Need > Now)
+      return false;
+    RtValue Val;
+    switch (RK) {
+    case RValueKind::Opnd:
+      Val = valueOf(Fr, A.X);
+      break;
+    case RValueKind::Unary:
+      Val = evalUnary(static_cast<UnaryOp>(A.Sub), valueOf(Fr, A.X));
+      break;
+    default:
+      Val = evalBinary(static_cast<BinaryOp>(A.Sub), valueOf(Fr, A.X),
+                       valueOf(Fr, A.Y));
+      break;
+    }
+    Now += RK == RValueKind::Opnd ? cost().CopyCost : cost().StmtCost;
+    word(Fr, A.Dst) = Val;
+    Fr.Locals->Avail[A.Dst] = Now;
+    return true;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Instruction dispatch: one instruction == one AST-walker step. Fused
+  // superinstructions (fused stream only) may take up to \p Budget steps in
+  // one dispatch and report the count through \p Taken.
+  //===--------------------------------------------------------------------===
+
+  StepStatus step(Fiber *F, double &Now, double &BlockTime, unsigned Budget,
+                  unsigned &Taken) {
     if (F->Stack.empty()) {
       finishFiber(F, Now, 0);
       return StepStatus::FiberDone;
     }
     BcFrame &Fr = F->Stack.back();
-    const BcInsn &I = Fr.BF->Code[Fr.PC];
+    const BcInsn &I =
+        (Fuse && !Fr.BF->FusedCode.empty() ? Fr.BF->FusedCode
+                                           : Fr.BF->Code)[Fr.PC];
     switch (I.Op) {
     case BcOp::Assign: {
       StepStatus St = execAssign(Fr, I, Now, BlockTime);
@@ -1010,6 +1059,53 @@ private:
       ++Fr.PC; // Fall into the Step region.
       return StepStatus::Continue;
     }
+
+    case BcOp::FusedEndLoop: {
+      if (!Fuse)
+        fail("fused opcode reached with fusion disabled");
+      // Step 1 — the loop body's sequence pop (EndSeq): jump to the
+      // condition.
+      Fr.PC = I.A;
+      if (Budget < 2)
+        return StepStatus::Continue; // Quantum/fuel edge: plain LoopCond next.
+      // Step 2 — the compare-and-branch, from the (plain) LoopCond payload
+      // still sitting at the jump target.
+      const BcInsn &Cond = Fr.BF->Code[I.A];
+      double Need = condAvail(Fr, Cond);
+      if (Need > Now)
+        return StepStatus::Continue; // Not available: plain LoopCond retries.
+      Now += cost().StmtCost;
+      Fr.PC = condValue(Fr, Cond).truthy() ? Cond.A : Cond.B;
+      Taken = 2;
+      ++FusedDispatches;
+      FusedSteps += 2;
+      return StepStatus::Continue;
+    }
+    case BcOp::FusedAssignRun: {
+      if (!Fuse)
+        fail("fused opcode reached with fusion disabled");
+      // Head of a Words-step run of pure slot-to-slot assigns. The head
+      // carries its own payload; tail steps read the plain instructions
+      // that still follow in the unfused positions.
+      const int32_t Base = Fr.PC;
+      const unsigned K = std::min(I.Words, Budget);
+      double Need = 0.0;
+      if (!execSimpleAssignStep(Fr, I, Now, Need)) {
+        BlockTime = Need; // Head not available: exactly a plain Assign block.
+        return StepStatus::BlockRetry;
+      }
+      unsigned Done = 1;
+      while (Done != K &&
+             execSimpleAssignStep(Fr, Fr.BF->Code[Base + Done], Now, Need))
+        ++Done;
+      Fr.PC = Base + static_cast<int32_t>(Done);
+      Taken = Done;
+      if (Done > 1) {
+        ++FusedDispatches;
+        FusedSteps += Done;
+      }
+      return StepStatus::Continue;
+    }
     }
     fail("bad opcode");
   }
@@ -1050,8 +1146,27 @@ private:
         schedule(F, Now);
         return;
       }
+      // Step budget for a fused dispatch: how many consecutive steps could
+      // run before the quantum check would preempt (StepsThisRun + k <=
+      // EUQuantum) or the fuel check would fire (Steps + k - 1 <= MaxSteps;
+      // ++Steps above already billed the first). A superinstruction that
+      // cannot fit executes only the steps that do, so preemption and
+      // fuel exhaustion land on exactly the same step as unfused stepping.
+      unsigned Budget = 1;
+      if (Fuse) {
+        uint64_t FuelLeft = Cfg.MaxSteps - Steps + 1;
+        uint64_t QuantumLeft =
+            Cfg.EUQuantum ? Cfg.EUQuantum - StepsThisRun : FuelLeft;
+        Budget = static_cast<unsigned>(
+            std::min<uint64_t>(std::min(FuelLeft, QuantumLeft), 0xffffffffu));
+      }
       double BlockTime = 0.0;
-      StepStatus St = step(F, Now, BlockTime);
+      unsigned Taken = 1;
+      StepStatus St = step(F, Now, BlockTime, Budget, Taken);
+      if (Taken > 1) { // Steps 2..Taken of a fused dispatch.
+        Steps += Taken - 1;
+        StepsThisRun += Taken - 1;
+      }
       EUClock[NodeBefore] = std::max(EUClock[NodeBefore], Now);
       switch (St) {
       case StepStatus::Continue:
@@ -1077,6 +1192,7 @@ private:
 
   const BytecodeModule &BM;
   MachineConfig Cfg;
+  const bool Fuse; ///< Dispatch FusedCode instead of Code (Cfg.Fuse).
   TraceSink *Trc = nullptr;
   EarthMemory Mem;
   OpCounters Ctr;
@@ -1089,6 +1205,8 @@ private:
   std::vector<GlobalAddr> GlobalSharedAddrs; ///< By SharedGlobalIndex.
   std::vector<std::string> Output;
   uint64_t Steps = 0;
+  uint64_t FusedDispatches = 0; ///< Multi-step fused dispatches (host metric).
+  uint64_t FusedSteps = 0;      ///< Steps covered by those dispatches.
 
   Fiber *MainFiber = nullptr;
   double EndTime = 0.0;
@@ -1149,6 +1267,8 @@ RunResult BcInterp::run(const std::string &Entry,
   R.Counters = Ctr;
   R.Output = std::move(Output);
   R.StepsExecuted = Steps;
+  R.FusedDispatches = FusedDispatches;
+  R.FusedSteps = FusedSteps;
   for (unsigned N = 0; N != Mem.numNodes(); ++N)
     R.WordsPerNode.push_back(Mem.allocatedWords(N));
   return R;

@@ -82,6 +82,25 @@ enum class BcOp : uint8_t {
   ForallInit,  ///< Create the forall's join, fall through into Init code.
   ForallCond,  ///< Forall condition: spawn body fiber at A / exit to B.
   ImplicitRet, ///< Implicit void return (frame termination).
+
+  // Superinstructions (present only in BytecodeFunction::FusedCode; the
+  // unfused Code stream never contains them, so --fuse=off cannot reach
+  // them). Each executes the exact step sequence of its unfused expansion,
+  // accounting every step against the EU quantum and the interpreter fuel;
+  // when the remaining step budget or an operand's availability would make
+  // the grouped execution diverge from stepping, the superinstruction
+  // executes only the steps that fit and falls back to the plain opcodes
+  // that still follow it in the stream (fusion rewrites only the head
+  // instruction of a pattern, so stream length and every jump target are
+  // unchanged).
+  FusedEndLoop,   ///< EndSeq whose target (A) is the LoopCond of a loop:
+                  ///< sequence pop + compare-and-branch in one dispatch
+                  ///< (2 steps).
+  FusedAssignRun, ///< Head of Words (2..3) consecutive slot-to-slot pure
+                  ///< Assigns (load-operand / Binary arithmetic / store
+                  ///< back to a slot): one dispatch, Words steps. Carries
+                  ///< the head Assign's own payload; the tail insns are
+                  ///< read from the unfused positions that follow.
 };
 
 /// A leaf operand resolved to a frame slot or a pre-built constant value.
@@ -132,6 +151,26 @@ struct BytecodeFunction {
   std::vector<BcOperand> ArgPool; ///< Call argument lists.
   std::vector<std::pair<int64_t, int32_t>> CasePool; ///< Switch cases.
   std::vector<int32_t> BranchPool; ///< Parallel-sequence branch entries.
+
+  /// The superinstruction stream: Code with fusable pattern heads rewritten
+  /// to Fused* opcodes (same length, same jump targets; non-head members of
+  /// a pattern stay plain, so jumps into a pattern and fallback paths hit
+  /// ordinary opcodes). The engine dispatches this stream when
+  /// MachineConfig::Fuse is on and Code otherwise. Built by lowerModule
+  /// alongside Code, and dropped with it on Module::invalidateExecCache().
+  std::vector<BcInsn> FusedCode;
+
+  /// Inline caches resolved at lowering time (dropped with the whole
+  /// BytecodeModule on Module::invalidateExecCache(), so post-lowering IR
+  /// mutation can never execute against stale layouts):
+  /// Word offset of each parameter within this function's own frame image —
+  /// the Call opcode copies arguments through the callee's cache instead of
+  /// chasing ParamSlots -> Slots -> WordOff per argument.
+  std::vector<uint32_t> ParamWordOffs;
+  /// Word offsets of the frame's function-scope shared-variable cells, in
+  /// slot order; activation allocates cells from this list instead of
+  /// scanning every slot.
+  std::vector<uint32_t> SharedCellOffs;
 };
 
 /// A whole lowered module. Built once by lowerModule() and shared across

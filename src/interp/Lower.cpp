@@ -35,6 +35,9 @@
 
 #include "interp/Lower.h"
 
+#include "support/ThreadPool.h"
+
+#include <algorithm>
 #include <cassert>
 
 using namespace earthcc;
@@ -414,9 +417,95 @@ private:
   int32_t RetPC = -1;
 };
 
+//===----------------------------------------------------------------------===//
+// Superinstruction fusion (see Bytecode.h). A pure peephole over the
+// finished stream: only the *head* instruction of a fusable pattern is
+// rewritten, the pattern's tail stays plain, so the fused stream has the
+// same length and the same jump targets as the unfused one. The engine
+// accounts each fused step individually, so every observable (time,
+// counters, steps, traces) is bit-identical to stepping the plain stream.
+//===----------------------------------------------------------------------===//
+
+/// Longest fusable run of 2 or 3 ("load-operand / Binary / store") steps.
+constexpr uint32_t MaxAssignRun = 3;
+
+/// A Const operand, or a slot that actually has frame storage. Operands
+/// that would raise the engine's "no storage" diagnostic are left to the
+/// plain opcode so the error path stays byte-for-byte identical.
+bool fusableOperand(const BcOperand &O) {
+  return O.Kind == BcOperand::K::Const ||
+         (O.Kind == BcOperand::K::Slot && O.Slot >= 0);
+}
+
+/// Pure slot-to-slot assignment: a register copy (Opnd), a Unary, or a
+/// Binary over slots/constants, stored to a slot. No memory access, no
+/// blocking side effects — exactly the shape whose unfused execution is
+/// "check availability, compute, bump Now, store".
+bool isSimpleAssign(const BcInsn &I) {
+  if (I.Op != BcOp::Assign || static_cast<LValueKind>(I.LK) != LValueKind::Var)
+    return false;
+  const auto RK = static_cast<RValueKind>(I.RK);
+  if (RK != RValueKind::Opnd && RK != RValueKind::Unary &&
+      RK != RValueKind::Binary)
+    return false;
+  if (I.Dst < 0 || !fusableOperand(I.X))
+    return false;
+  return RK != RValueKind::Binary || fusableOperand(I.Y);
+}
+
+/// Builds BF.FusedCode from BF.Code.
+void buildFusedStream(BytecodeFunction &BF) {
+  BF.FusedCode = BF.Code;
+  const size_t N = BF.Code.size();
+  for (size_t I = 0; I != N; ++I) {
+    const BcInsn &Head = BF.Code[I];
+
+    // EndSeq jumping to a LoopCond: the loop-back pop plus the next
+    // iteration's compare-and-branch (the hottest two-step pattern — every
+    // while/do-while iteration ends with it). Conditions with memory
+    // access (BadCondRK) keep the plain pair so the failure fires on the
+    // exact step it would unfused.
+    if (Head.Op == BcOp::EndSeq && Head.A >= 0 &&
+        static_cast<size_t>(Head.A) < N) {
+      const BcInsn &Target = BF.Code[Head.A];
+      if (Target.Op == BcOp::LoopCond && Target.RK != BadCondRK)
+        BF.FusedCode[I].Op = BcOp::FusedEndLoop;
+      continue;
+    }
+
+    // Runs of pure slot-to-slot assigns: t = x->f style operand loads,
+    // Binary arithmetic, and stores back to slots fuse into one dispatch
+    // of up to MaxAssignRun steps. Words (unused by Assign) carries the
+    // run length; the head keeps its own payload, the tail is read from
+    // the plain stream at execution.
+    if (isSimpleAssign(Head)) {
+      uint32_t Run = 1;
+      while (Run < MaxAssignRun && I + Run < N &&
+             isSimpleAssign(BF.Code[I + Run]))
+        ++Run;
+      if (Run >= 2) {
+        BF.FusedCode[I].Op = BcOp::FusedAssignRun;
+        BF.FusedCode[I].Words = Run;
+      }
+    }
+  }
+}
+
+/// Fills the lowering-time inline caches (param word offsets, shared-cell
+/// offsets) from the finished frame layout.
+void buildLayoutCaches(BytecodeFunction &BF) {
+  BF.ParamWordOffs.reserve(BF.ParamSlots.size());
+  for (int32_t P : BF.ParamSlots)
+    BF.ParamWordOffs.push_back(BF.Slots[P].WordOff);
+  for (const BcSlot &S : BF.Slots)
+    if (S.SharedCell)
+      BF.SharedCellOffs.push_back(S.WordOff);
+}
+
 } // namespace
 
-std::shared_ptr<const BytecodeModule> earthcc::lowerModule(const Module &M) {
+std::shared_ptr<const BytecodeModule> earthcc::lowerModule(const Module &M,
+                                                           unsigned Threads) {
   auto BM = std::make_shared<BytecodeModule>();
   BM->M = &M;
 
@@ -451,18 +540,39 @@ std::shared_ptr<const BytecodeModule> earthcc::lowerModule(const Module &M) {
     BF->FrameWords = WordOff;
     for (const Var *P : F->params())
       BF->ParamSlots.push_back(static_cast<int32_t>(P->id()));
+    buildLayoutCaches(*BF);
     BM->ByFn[F.get()] = BF.get();
     BM->Funcs.push_back(std::move(BF));
   }
 
-  for (auto &BF : BM->Funcs)
-    FunctionLowering(*BM, *BF).run();
+  // Second pass: function bodies. After the frame-layout pass every
+  // function is independent (a task reads only the shared ByFn /
+  // SharedGlobalIndex maps, frozen above, and writes only its own
+  // BytecodeFunction), so the bodies can lower concurrently; each result
+  // lands in its pre-allocated Funcs slot, making the output identical at
+  // every thread count.
+  auto LowerOne = [&BM](size_t I) {
+    BytecodeFunction &BF = *BM->Funcs[I];
+    FunctionLowering(*BM, BF).run();
+    buildFusedStream(BF);
+  };
+  if (Threads == 0)
+    Threads = ThreadPool::hardwareThreads();
+  size_t Lanes = std::min<size_t>(Threads, BM->Funcs.size());
+  if (Lanes <= 1) {
+    for (size_t I = 0; I != BM->Funcs.size(); ++I)
+      LowerOne(I);
+  } else {
+    ThreadPool Pool(static_cast<unsigned>(Lanes));
+    Pool.parallelFor(BM->Funcs.size(), LowerOne);
+  }
   return BM;
 }
 
-const BytecodeModule &earthcc::getOrLowerBytecode(const Module &M) {
+const BytecodeModule &earthcc::getOrLowerBytecode(const Module &M,
+                                                  unsigned Threads) {
   std::shared_ptr<void> &Cache = M.execCache();
   if (!Cache)
-    Cache = std::const_pointer_cast<BytecodeModule>(lowerModule(M));
+    Cache = std::const_pointer_cast<BytecodeModule>(lowerModule(M, Threads));
   return *static_cast<const BytecodeModule *>(Cache.get());
 }

@@ -1,0 +1,145 @@
+//===- ThreadPool.h - Minimal fixed-size worker pool ------------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size thread pool for host-side compiler parallelism (the
+/// per-function bytecode lowering is the first user). Tasks are plain
+/// std::function<void()>; wait() blocks until every submitted task has
+/// finished and rethrows the first task exception, so callers get the same
+/// failure behavior as the serial loop they replaced.
+///
+/// Determinism contract: the pool orders nothing. Users that need
+/// deterministic output (all of them, in this compiler) must write results
+/// into pre-allocated, task-owned slots — e.g. parallelFor(N) hands each
+/// index to exactly one task, and the caller indexes results by it — so the
+/// output is a pure function of the input regardless of scheduling.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SUPPORT_THREADPOOL_H
+#define EARTHCC_SUPPORT_THREADPOOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace earthcc {
+
+class ThreadPool {
+public:
+  /// Spawns \p Threads workers (0 means hardwareThreads()).
+  explicit ThreadPool(unsigned Threads) {
+    if (Threads == 0)
+      Threads = hardwareThreads();
+    Workers.reserve(Threads);
+    for (unsigned I = 0; I != Threads; ++I)
+      Workers.emplace_back([this] { workerLoop(); });
+  }
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  ~ThreadPool() {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Stopping = true;
+    }
+    WorkAvailable.notify_all();
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  unsigned numThreads() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// The host's concurrency (never 0).
+  static unsigned hardwareThreads() {
+    unsigned N = std::thread::hardware_concurrency();
+    return N ? N : 1;
+  }
+
+  /// Enqueues \p Task. May be called while tasks run (tasks may not submit).
+  void run(std::function<void()> Task) {
+    {
+      std::lock_guard<std::mutex> Lock(M);
+      Queue.push_back(std::move(Task));
+      ++Outstanding;
+    }
+    WorkAvailable.notify_one();
+  }
+
+  /// Blocks until every task submitted so far has completed, then rethrows
+  /// the first exception a task raised (if any).
+  void wait() {
+    std::unique_lock<std::mutex> Lock(M);
+    AllDone.wait(Lock, [this] { return Outstanding == 0; });
+    if (FirstError) {
+      std::exception_ptr E = FirstError;
+      FirstError = nullptr;
+      std::rethrow_exception(E);
+    }
+  }
+
+  /// Runs Body(0) .. Body(Count-1) across the pool and waits. Each index is
+  /// claimed by exactly one worker; results keyed by index are therefore
+  /// deterministic no matter how the workers interleave.
+  void parallelFor(size_t Count, const std::function<void(size_t)> &Body) {
+    std::atomic<size_t> Next{0};
+    size_t Lanes = std::min<size_t>(Count, numThreads());
+    for (size_t L = 0; L != Lanes; ++L)
+      run([&Next, Count, &Body] {
+        for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
+          Body(I);
+      });
+    wait();
+  }
+
+private:
+  void workerLoop() {
+    for (;;) {
+      std::function<void()> Task;
+      {
+        std::unique_lock<std::mutex> Lock(M);
+        WorkAvailable.wait(Lock, [this] { return Stopping || !Queue.empty(); });
+        if (Queue.empty())
+          return; // Stopping and drained.
+        Task = std::move(Queue.front());
+        Queue.pop_front();
+      }
+      std::exception_ptr Err;
+      try {
+        Task();
+      } catch (...) {
+        Err = std::current_exception();
+      }
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        if (Err && !FirstError)
+          FirstError = Err;
+        if (--Outstanding == 0)
+          AllDone.notify_all();
+      }
+    }
+  }
+
+  std::mutex M;
+  std::condition_variable WorkAvailable;
+  std::condition_variable AllDone;
+  std::deque<std::function<void()>> Queue;
+  std::vector<std::thread> Workers;
+  size_t Outstanding = 0;
+  bool Stopping = false;
+  std::exception_ptr FirstError;
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_SUPPORT_THREADPOOL_H

@@ -277,8 +277,8 @@ int main() {
   Village *root;
   List *up;
   int t; int treated; int left;
-  root = build(3, NULL, 0, 0);
-  for (t = 0; t < 24; t = t + 1) {
+  root = build(${levels}, NULL, 0, 0);
+  for (t = 0; t < ${iters}; t = t + 1) {
     up = sim_village(root);
     // The root treats everything; nothing is passed above it.
   }

@@ -214,7 +214,7 @@ int perimeter(Quad *q, int sz, int depth) {
 int main() {
   Quad *root;
   int per;
-  root = maketree(6, 128, 128, 256, NULL, 0, 0);
+  root = maketree(${depth}, 128, 128, 256, NULL, 0, 0);
   per = perimeter(root, 256, 2);
   return per;
 }

@@ -221,7 +221,7 @@ int main() {
   shared int sum;
   double price; double t;
   int iter; int si; int check;
-  root = build(16, 4, 4, 4);
+  root = build(${feeders}, ${lateral}, ${branch}, ${leaf});
   price = 1.0;
   for (iter = 0; iter < 4; iter = iter + 1) {
     writeto(&sum, 0);

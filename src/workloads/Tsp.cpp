@@ -148,7 +148,7 @@ int main() {
   City *root; City *cyc; City *p; City *q;
   double len; double dx; double dy;
   int hops; int linked; int check;
-  root = build_tree(10, 0.0, 256.0, 7, 0);
+  root = build_tree(${depth}, 0.0, 256.0, 7, 0);
   cyc = tsp(root, 5);
   linked = check_linked(root, 5);
   // Sample the tour length over a bounded prefix (the full walk would be

@@ -151,7 +151,7 @@ int main() {
   Pt *root; Pt *m; Pt *p; Pt *q;
   double dx; double dy; double d; double mind;
   int count; int check;
-  root = build_tree(10, 0.0, 512.0, 13, 0);
+  root = build_tree(${depth}, 0.0, 512.0, 13, 0);
   m = voronoi_dc(root, 5);
   // Walk the merged diagram: count points, track the closest adjacent pair.
   count = 0;

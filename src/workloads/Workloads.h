@@ -29,15 +29,40 @@
 
 namespace earthcc {
 
-/// One benchmark program.
+/// One structural size parameter of a benchmark: the `${name}` placeholder
+/// in the source template plus its full-size and reduced-size values.
+struct WorkloadParam {
+  std::string Name;  ///< Placeholder name (appears as `${Name}`).
+  std::string Full;  ///< Value for the standard (Table II-scaled) size.
+  std::string Small; ///< Value for the reduced equivalence-sweep size.
+};
+
+/// One benchmark program. Problem sizes are real fields, not literals
+/// buried in the source text: the template carries `${param}` placeholders
+/// and the two expansions are derived from Params, so resizing can never
+/// silently miss (expansion hard-fails on an unmatched placeholder).
 struct Workload {
   std::string Name;
   std::string Description;   ///< Table II description.
   std::string PaperSize;     ///< Problem size the paper used.
   std::string OurSize;       ///< Scaled size we run.
   std::string Optimization;  ///< Which comm optimizations dominate (paper).
-  std::string Source;        ///< EARTH-C source text.
+  std::string SourceTemplate; ///< EARTH-C source with `${param}` holes.
+  std::vector<WorkloadParam> Params; ///< Structural size parameters.
+  std::string Source;        ///< Template expanded with the Full sizes.
+
+  /// The template expanded with the Small sizes (two distinct input sizes
+  /// per program for the engine-equivalence sweep).
+  std::string smallSource() const;
 };
+
+/// Expands every `${name}` placeholder of \p Template from \p Params
+/// (Small selects WorkloadParam::Small over Full). Throws std::runtime_error
+/// if a parameter never matches or an unknown `${` placeholder remains —
+/// a size change that does not take effect must be loud, not silent.
+std::string expandWorkloadSource(const std::string &Template,
+                                 const std::vector<WorkloadParam> &Params,
+                                 bool Small);
 
 /// The five Olden benchmarks (power, perimeter, tsp, health, voronoi).
 const std::vector<Workload> &oldenWorkloads();

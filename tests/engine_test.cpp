@@ -20,47 +20,15 @@ using namespace earthcc;
 
 namespace {
 
-/// Replaces the first occurrence of \p From in \p S with \p To; fails the
-/// test if the needle is missing (a workload source changed under us).
-std::string replaceOnce(std::string S, const std::string &From,
-                        const std::string &To) {
-  size_t Pos = S.find(From);
-  EXPECT_NE(Pos, std::string::npos) << "missing literal: " << From;
-  if (Pos != std::string::npos)
-    S.replace(Pos, From.size(), To);
-  return S;
-}
-
-/// A reduced-size variant of \p W's source: each benchmark's build call is
-/// rewritten to a smaller tree / fewer simulated steps so the equivalence
-/// sweep covers two distinct input sizes per program.
-std::string smallSource(const Workload &W) {
-  if (W.Name == "power")
-    return replaceOnce(W.Source, "build(16, 4, 4, 4)", "build(8, 2, 2, 2)");
-  if (W.Name == "health")
-    return replaceOnce(replaceOnce(W.Source, "build(3, NULL, 0, 0)",
-                                   "build(2, NULL, 0, 0)"),
-                       "t < 24", "t < 8");
-  if (W.Name == "perimeter")
-    return replaceOnce(W.Source, "maketree(6, 128, 128, 256, NULL, 0, 0)",
-                       "maketree(4, 128, 128, 256, NULL, 0, 0)");
-  if (W.Name == "tsp")
-    return replaceOnce(W.Source, "build_tree(10, 0.0, 256.0, 7, 0)",
-                       "build_tree(7, 0.0, 256.0, 7, 0)");
-  if (W.Name == "voronoi")
-    return replaceOnce(W.Source, "build_tree(10, 0.0, 512.0, 13, 0)",
-                       "build_tree(7, 0.0, 512.0, 13, 0)");
-  ADD_FAILURE() << "unknown workload " << W.Name;
-  return W.Source;
-}
-
 /// Runs \p M under \p Engine with a fresh trace sink and returns the result
-/// plus the serialized trace.
+/// plus the serialized trace. \p Fuse selects the bytecode engine's
+/// superinstruction stream (ignored by the AST engine).
 std::pair<RunResult, std::string> runWith(Pipeline &P, const Module &M,
-                                          MachineConfig MC,
-                                          ExecEngine Engine) {
+                                          MachineConfig MC, ExecEngine Engine,
+                                          bool Fuse = true) {
   ChromeTraceSink Sink;
   MC.Engine = Engine;
+  MC.Fuse = Fuse;
   MC.Trace = &Sink;
   RunResult R = P.run(M, MC);
   return {std::move(R), Sink.json()};
@@ -101,8 +69,13 @@ protected:
   }
 
   /// Compiles \p Source once per mode and sweeps 1/2/4 nodes, comparing
-  /// the engines at every configuration.
+  /// the AST engine against the bytecode engine with fusion on AND off at
+  /// every configuration. Fused dispatch counts are host metrics, so they
+  /// are deliberately outside expectIdentical — but the sweep does assert
+  /// the fused stream actually fused something (on) and that the unfused
+  /// stream never dispatches a superinstruction (off).
   void sweep(const std::string &Source, const std::string &SizeTag) {
+    uint64_t FusedDispatches = 0;
     for (RunMode Mode : {RunMode::Simple, RunMode::Optimized}) {
       Pipeline P(workloadOptions(Mode));
       CompileResult CR = P.compile(Source);
@@ -113,17 +86,29 @@ protected:
                            (Mode == RunMode::Simple ? "/simple/" : "/opt/") +
                            std::to_string(Nodes) + "n";
         auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
-        auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
-        expectIdentical(Ast, Bc, What);
+        auto BcFused = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
+        auto BcPlain =
+            runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/false);
+        expectIdentical(Ast, BcFused, What + "/fuse=on");
+        expectIdentical(Ast, BcPlain, What + "/fuse=off");
+        EXPECT_EQ(Ast.first.FusedDispatches, 0u) << What;
+        EXPECT_EQ(BcPlain.first.FusedDispatches, 0u) << What;
+        EXPECT_GE(BcFused.first.FusedSteps,
+                  2 * BcFused.first.FusedDispatches)
+            << What << ": a fused dispatch covers at least two steps";
+        FusedDispatches += BcFused.first.FusedDispatches;
       }
     }
+    EXPECT_GT(FusedDispatches, 0u)
+        << GetParam() << "/" << SizeTag
+        << ": fusion never fired across the whole sweep";
   }
 };
 
 TEST_P(EngineEquivalenceTest, FullSize) { sweep(workload().Source, "full"); }
 
 TEST_P(EngineEquivalenceTest, SmallSize) {
-  sweep(smallSource(workload()), "small");
+  sweep(workload().smallSource(), "small");
 }
 
 // The sequential baseline exercises the no-EARTH code path (local accesses
@@ -143,16 +128,22 @@ TEST_P(EngineEquivalenceTest, SequentialBaseline) {
 // interpreter steps, so this pins the one-instruction-per-step invariant).
 TEST_P(EngineEquivalenceTest, QuantumSweep) {
   Pipeline P(workloadOptions(RunMode::Optimized));
-  CompileResult CR = P.compile(smallSource(workload()));
+  CompileResult CR = P.compile(workload().smallSource());
   ASSERT_TRUE(CR.OK) << CR.Messages;
-  for (unsigned Quantum : {1u, 3u, 17u, 0u}) {
+  for (unsigned Quantum : {1u, 2u, 3u, 17u, 0u}) {
     MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
     MC.EUQuantum = Quantum;
     std::string What =
         GetParam() + "/quantum=" + std::to_string(Quantum);
     auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
     auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
-    expectIdentical(Ast, Bc, What);
+    auto BcPlain = runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/false);
+    expectIdentical(Ast, Bc, What + "/fuse=on");
+    expectIdentical(Ast, BcPlain, What + "/fuse=off");
+    // A one-step quantum leaves no budget for a multi-step dispatch: every
+    // superinstruction must fall back to single-stepping.
+    if (Quantum == 1)
+      EXPECT_EQ(Bc.first.FusedDispatches, 0u) << What;
   }
 }
 
@@ -175,6 +166,113 @@ TEST(EngineCacheTest, LoweringIsCachedAcrossRuns) {
   const BytecodeModule &Second = getOrLowerBytecode(*CR.M);
   EXPECT_EQ(&First, &Second) << "lowering must be memoized on the Module";
   EXPECT_EQ(First.M, CR.M.get());
+}
+
+/// Field-wise BcOperand equality (BcInsn holds pointers and padding, so
+/// memcmp over the raw bytes would be both unsafe and too strict).
+void expectSameOperand(const BcOperand &A, const BcOperand &B,
+                       const std::string &What) {
+  EXPECT_EQ(A.Kind, B.Kind) << What;
+  EXPECT_EQ(A.Slot, B.Slot) << What;
+  EXPECT_EQ(A.V, B.V) << What;
+  EXPECT_EQ(A.Const.K, B.Const.K) << What;
+  EXPECT_EQ(A.Const.I, B.Const.I) << What;
+  EXPECT_DOUBLE_EQ(A.Const.D, B.Const.D) << What;
+  EXPECT_EQ(A.Const.P, B.Const.P) << What;
+}
+
+/// Field-wise BcInsn equality between two lowerings of the SAME Module:
+/// Src/V point into the shared IR and compare directly; Callee points into
+/// each lowering's own BytecodeModule, so its identity is the source
+/// Function it lowers.
+void expectSameInsn(const BcInsn &A, const BcInsn &B, const std::string &What) {
+  EXPECT_EQ(A.Op, B.Op) << What;
+  EXPECT_EQ(A.RK, B.RK) << What;
+  EXPECT_EQ(A.LK, B.LK) << What;
+  EXPECT_EQ(A.Sub, B.Sub) << What;
+  EXPECT_EQ(A.Loc, B.Loc) << What;
+  EXPECT_EQ(A.Place, B.Place) << What;
+  EXPECT_EQ(A.A, B.A) << What;
+  EXPECT_EQ(A.B, B.B) << What;
+  EXPECT_EQ(A.Off, B.Off) << What;
+  EXPECT_EQ(A.Words, B.Words) << What;
+  EXPECT_EQ(A.Dst, B.Dst) << What;
+  expectSameOperand(A.X, B.X, What + "/X");
+  expectSameOperand(A.Y, B.Y, What + "/Y");
+  EXPECT_EQ(A.Callee ? A.Callee->Fn : nullptr, B.Callee ? B.Callee->Fn : nullptr)
+      << What;
+  EXPECT_EQ(A.Src, B.Src) << What;
+}
+
+void expectSameStream(const std::vector<BcInsn> &A, const std::vector<BcInsn> &B,
+                      const std::string &What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I != A.size(); ++I)
+    expectSameInsn(A[I], B[I], What + "[" + std::to_string(I) + "]");
+}
+
+// Parallel per-function lowering must be a pure host-speed knob: every
+// thread count yields bit-identical bytecode (both streams, all pools, all
+// inline caches) for the same module.
+TEST(LowerThreadsTest, ParallelLoweringIsDeterministic) {
+  const Workload *W = findWorkload("health");
+  ASSERT_NE(W, nullptr);
+  Pipeline P(workloadOptions(RunMode::Optimized));
+  CompileResult CR = P.compile(W->Source);
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+  std::shared_ptr<const BytecodeModule> Serial = lowerModule(*CR.M, 1);
+  for (unsigned Threads : {4u, 0u}) {
+    std::shared_ptr<const BytecodeModule> Par = lowerModule(*CR.M, Threads);
+    std::string Tag = "threads=" + std::to_string(Threads);
+    ASSERT_EQ(Serial->Funcs.size(), Par->Funcs.size()) << Tag;
+    EXPECT_EQ(Serial->SharedGlobals, Par->SharedGlobals) << Tag;
+    for (size_t F = 0; F != Serial->Funcs.size(); ++F) {
+      const BytecodeFunction &A = *Serial->Funcs[F];
+      const BytecodeFunction &B = *Par->Funcs[F];
+      std::string What = Tag + "/" + A.Fn->name();
+      EXPECT_EQ(A.Fn, B.Fn) << What;
+      EXPECT_EQ(A.FrameWords, B.FrameWords) << What;
+      EXPECT_EQ(A.ParamSlots, B.ParamSlots) << What;
+      EXPECT_EQ(A.ParamWordOffs, B.ParamWordOffs) << What;
+      EXPECT_EQ(A.SharedCellOffs, B.SharedCellOffs) << What;
+      EXPECT_EQ(A.CasePool, B.CasePool) << What;
+      EXPECT_EQ(A.BranchPool, B.BranchPool) << What;
+      ASSERT_EQ(A.Slots.size(), B.Slots.size()) << What;
+      for (size_t S = 0; S != A.Slots.size(); ++S) {
+        EXPECT_EQ(A.Slots[S].WordOff, B.Slots[S].WordOff) << What;
+        EXPECT_EQ(A.Slots[S].Words, B.Slots[S].Words) << What;
+        EXPECT_EQ(A.Slots[S].SharedCell, B.Slots[S].SharedCell) << What;
+        EXPECT_EQ(A.Slots[S].V, B.Slots[S].V) << What;
+      }
+      ASSERT_EQ(A.ArgPool.size(), B.ArgPool.size()) << What;
+      for (size_t I = 0; I != A.ArgPool.size(); ++I)
+        expectSameOperand(A.ArgPool[I], B.ArgPool[I], What + "/argpool");
+      expectSameStream(A.Code, B.Code, What + "/code");
+      expectSameStream(A.FusedCode, B.FusedCode, What + "/fused");
+    }
+  }
+}
+
+// End to end through the Pipeline option: a parallel-lowered compile must
+// run to exactly the same simulated result and trace as a serial one.
+TEST(LowerThreadsTest, PipelineRunsIdenticalAtAnyThreadCount) {
+  const Workload *W = findWorkload("power");
+  ASSERT_NE(W, nullptr);
+  PipelineOptions SerialOpts = workloadOptions(RunMode::Optimized);
+  SerialOpts.LowerThreads = 1;
+  PipelineOptions ParOpts = workloadOptions(RunMode::Optimized);
+  ParOpts.LowerThreads = 4;
+  Pipeline PS(SerialOpts), PP(ParOpts);
+  CompileResult CS = PS.compile(W->Source);
+  CompileResult CP = PP.compile(W->Source);
+  ASSERT_TRUE(CS.OK) << CS.Messages;
+  ASSERT_TRUE(CP.OK) << CP.Messages;
+  MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
+  auto A = runWith(PS, *CS.M, MC, ExecEngine::Bytecode);
+  auto B = runWith(PP, *CP.M, MC, ExecEngine::Bytecode);
+  expectIdentical(A, B, "lower-threads 1 vs 4");
+  EXPECT_EQ(A.first.FusedDispatches, B.first.FusedDispatches);
+  EXPECT_EQ(A.first.FusedSteps, B.first.FusedSteps);
 }
 
 // Runtime errors must be reported with identical text through both engines.

@@ -99,6 +99,34 @@ TEST(LexerTest, UnterminatedComment) {
   EXPECT_TRUE(Diags.hasErrors());
 }
 
+// strtoll saturates out-of-range literals to LLONG_MAX without setting an
+// error token, so the lexer must check errno itself — otherwise the
+// program runs with a silently wrong constant.
+TEST(LexerTest, IntLiteralOutOfRangeIsAnError) {
+  DiagnosticsEngine Diags;
+  lex("x = 99999999999999999999;", Diags);
+  EXPECT_TRUE(Diags.hasErrors());
+  EXPECT_NE(Diags.str().find("out of range"), std::string::npos)
+      << Diags.str();
+  EXPECT_NE(Diags.str().find("99999999999999999999"), std::string::npos)
+      << Diags.str();
+}
+
+TEST(LexerTest, IntLiteralBoundary) {
+  // INT64_MAX itself lexes fine...
+  DiagnosticsEngine Diags;
+  auto Toks = lex("9223372036854775807", Diags);
+  ASSERT_EQ(Toks.size(), 2u); // literal + EOF
+  EXPECT_EQ(Toks[0].Kind, TokKind::IntLiteral);
+  EXPECT_EQ(Toks[0].IntValue, INT64_MAX);
+  EXPECT_FALSE(Diags.hasErrors()) << Diags.str();
+
+  // ...but one past it is the first out-of-range value.
+  DiagnosticsEngine Overflow;
+  lex("9223372036854775808", Overflow);
+  EXPECT_TRUE(Overflow.hasErrors());
+}
+
 //===----------------------------------------------------------------------===//
 // Parser.
 //===----------------------------------------------------------------------===//
