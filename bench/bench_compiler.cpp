@@ -90,6 +90,16 @@ const CompileResult &healthModule() {
   return CR;
 }
 
+// Threaded-C emission as the pipeline's "codegen" stage: consumes the
+// module's memoized bytecode (lowered once by healthModule()'s compile), so
+// this measures only the backend-view construction and text emission.
+void BM_EmitThreadedC(benchmark::State &State) {
+  Pipeline P(PipelineOptions::optimized());
+  for (auto _ : State)
+    benchmark::DoNotOptimize(P.emitThreadedC(*healthModule().M));
+}
+BENCHMARK(BM_EmitThreadedC);
+
 void BM_SimulateHealth1Node(benchmark::State &State) {
   Pipeline P(PipelineOptions::optimized());
   MachineConfig MC;

@@ -178,7 +178,7 @@ int main(int argc, char **argv) {
   if (DumpIR)
     std::printf("%s\n", printModule(*CR.M).c_str());
   if (EmitThreaded)
-    std::printf("%s", emitThreadedC(*CR.M).c_str());
+    std::printf("%s", P.emitThreadedC(*CR.M).c_str());
 
   MachineConfig MC;
   MC.NumNodes = Sequential ? 1 : Nodes;

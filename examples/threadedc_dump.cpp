@@ -1,0 +1,140 @@
+//===- threadedc_dump.cpp - Golden Threaded-C emitter / checker ------------===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+//
+// Emits the Threaded-C program for every Olden workload in both program
+// versions (simple / optimized) and either prints, writes, or checks the
+// results against the checked-in goldens under tests/golden/threadedc/.
+//
+//   threadedc_dump                 print everything to stdout
+//   threadedc_dump --write DIR     (re)generate DIR/<name>_{simple,opt}.tc
+//   threadedc_dump --check DIR     diff fresh output against DIR; exit 1 on
+//                                  any drift, naming the stale files
+//
+// CI runs the --check form so that any change to the lowering layer or the
+// emitter that alters the emitted Threaded-C shows up as a reviewed golden
+// update, never as silent drift.
+//
+//===----------------------------------------------------------------------===//
+
+#include "codegen/ThreadedC.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace earthcc;
+
+namespace {
+
+struct Emitted {
+  std::string File; ///< e.g. "bisort_opt.tc"
+  std::string Text;
+};
+
+/// Compiles every workload in both program versions and emits each module's
+/// Threaded-C. Returns false (with a message on stderr) if any compile fails.
+bool emitAll(std::vector<Emitted> &Out) {
+  struct ModeName {
+    RunMode Mode;
+    const char *Suffix;
+  };
+  const ModeName Modes[] = {{RunMode::Simple, "simple"},
+                            {RunMode::Optimized, "opt"}};
+  for (const Workload &W : oldenWorkloads()) {
+    for (const ModeName &MN : Modes) {
+      CompileResult CR = compileWorkload(W, MN.Mode);
+      if (!CR.OK) {
+        std::fprintf(stderr, "threadedc_dump: %s (%s) failed to compile:\n%s",
+                     W.Name.c_str(), MN.Suffix, CR.Messages.c_str());
+        return false;
+      }
+      Emitted E;
+      E.File = W.Name + "_" + MN.Suffix + ".tc";
+      E.Text = emitThreadedC(*CR.M);
+      Out.push_back(std::move(E));
+    }
+  }
+  return true;
+}
+
+bool readFile(const std::string &Path, std::string &Text) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  Text = SS.str();
+  return true;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string Mode = "print", Dir;
+  if (argc == 3 && (std::string(argv[1]) == "--write" ||
+                    std::string(argv[1]) == "--check")) {
+    Mode = argv[1] + 2; // strip "--"
+    Dir = argv[2];
+  } else if (argc != 1) {
+    std::fprintf(stderr, "usage: %s [--write DIR | --check DIR]\n", argv[0]);
+    return 2;
+  }
+
+  std::vector<Emitted> All;
+  if (!emitAll(All))
+    return 1;
+
+  if (Mode == "print") {
+    for (const Emitted &E : All)
+      std::printf("// ==== %s ====\n%s\n", E.File.c_str(), E.Text.c_str());
+    return 0;
+  }
+
+  if (Mode == "write") {
+    for (const Emitted &E : All) {
+      std::string Path = Dir + "/" + E.File;
+      std::ofstream OS(Path, std::ios::binary | std::ios::trunc);
+      if (!OS) {
+        std::fprintf(stderr, "threadedc_dump: cannot write %s\n",
+                     Path.c_str());
+        return 1;
+      }
+      OS << E.Text;
+    }
+    std::printf("wrote %zu Threaded-C goldens to %s\n", All.size(),
+                Dir.c_str());
+    return 0;
+  }
+
+  // --check: fresh emission must match every checked-in golden exactly.
+  int Stale = 0;
+  for (const Emitted &E : All) {
+    std::string Path = Dir + "/" + E.File, Golden;
+    if (!readFile(Path, Golden)) {
+      std::fprintf(stderr, "MISSING  %s (regenerate with --write)\n",
+                   Path.c_str());
+      ++Stale;
+    } else if (Golden != E.Text) {
+      std::fprintf(stderr, "DRIFT    %s (%zu golden bytes vs %zu emitted)\n",
+                   Path.c_str(), Golden.size(), E.Text.size());
+      ++Stale;
+    }
+  }
+  if (Stale) {
+    std::fprintf(stderr,
+                 "threadedc_dump: %d stale golden(s); run "
+                 "`threadedc_dump --write tests/golden/threadedc` and review "
+                 "the diff\n",
+                 Stale);
+    return 1;
+  }
+  std::printf("all %zu Threaded-C goldens up to date\n", All.size());
+  return 0;
+}

@@ -56,6 +56,14 @@ public:
       return A.Obj == B.Obj && A.Off == B.Off;
     }
   };
+  /// Hash for Target, for the hashed flat sets layered on the analysis
+  /// (e.g. SideEffects' summaries).
+  struct TargetHash {
+    size_t operator()(Target T) const {
+      return std::hash<unsigned long long>()(
+          (static_cast<unsigned long long>(T.Obj) << 32) | T.Off);
+    }
+  };
   using TargetSet = std::set<Target>;
 
   /// Runs the analysis on \p M (must outlive this object).

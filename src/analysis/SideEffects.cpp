@@ -24,9 +24,9 @@ SideEffects::SideEffects(const Module &M, const PointsToAnalysis &PT)
 
 void SideEffects::computeSummaries(const Module &M) {
   // Collect each function's own direct heap accesses plus call edges.
-  std::map<const Function *, std::vector<const Function *>> Callees;
+  std::unordered_map<const Function *, std::vector<const Function *>> Callees;
   for (const auto &F : M.functions()) {
-    PointsToAnalysis::TargetSet Reads, Writes;
+    WordSet Reads, Writes;
     std::vector<const Function *> Calls;
     forEachStmt(F->body(), [&](const Stmt &S) {
       switch (S.kind()) {
@@ -70,22 +70,26 @@ void SideEffects::computeSummaries(const Module &M) {
       auto &Reads = SummaryReads[F.get()];
       auto &Writes = SummaryWrites[F.get()];
       for (const Function *Callee : Callees[F.get()]) {
+        // Self-calls contribute nothing new; skipping them also keeps the
+        // flat sets' no-insert-while-iterating rule trivially satisfied.
+        if (Callee == F.get())
+          continue;
         for (auto T : SummaryReads[Callee])
-          Changed |= Reads.insert(T).second;
+          Changed |= Reads.insert(T);
         for (auto T : SummaryWrites[Callee])
-          Changed |= Writes.insert(T).second;
+          Changed |= Writes.insert(T);
       }
     }
   }
 }
 
-const PointsToAnalysis::TargetSet &
+const SideEffects::WordSet &
 SideEffects::functionReads(const Function *F) const {
   auto It = SummaryReads.find(F);
   return It == SummaryReads.end() ? Empty : It->second;
 }
 
-const PointsToAnalysis::TargetSet &
+const SideEffects::WordSet &
 SideEffects::functionWrites(const Function *F) const {
   auto It = SummaryWrites.find(F);
   return It == SummaryWrites.end() ? Empty : It->second;

@@ -28,15 +28,21 @@
 #define EARTHCC_ANALYSIS_SIDEEFFECTS_H
 
 #include "analysis/PointsTo.h"
+#include "support/FlatSet.h"
 
-#include <map>
-#include <set>
+#include <unordered_map>
 
 namespace earthcc {
 
 /// Module-wide side-effect information (see file comment).
 class SideEffects {
 public:
+  /// Abstract heap words, as a hashed flat set (contiguous scan + O(1)
+  /// membership; the summaries are built once and queried hot from the
+  /// selection's invalidation walks).
+  using WordSet =
+      FlatSet<PointsToAnalysis::Target, PointsToAnalysis::TargetHash>;
+
   SideEffects(const Module &M, const PointsToAnalysis &PT);
 
   /// True if \p S may assign \p V directly (recursively over children).
@@ -62,8 +68,8 @@ public:
   bool directlyWrites(const Var *P, unsigned Off, const Stmt &S) const;
 
   /// Abstract words function \p F may read (write) — for tests.
-  const PointsToAnalysis::TargetSet &functionReads(const Function *F) const;
-  const PointsToAnalysis::TargetSet &functionWrites(const Function *F) const;
+  const WordSet &functionReads(const Function *F) const;
+  const WordSet &functionWrites(const Function *F) const;
 
 private:
   /// One direct heap access through a base variable.
@@ -75,10 +81,10 @@ private:
 
   /// Aggregated effects of one statement subtree.
   struct StmtEffects {
-    std::set<const Var *> VarWrites;
+    FlatSet<const Var *> VarWrites;
     std::vector<HeapAccess> Heap;
-    PointsToAnalysis::TargetSet CallReadWords;
-    PointsToAnalysis::TargetSet CallWriteWords;
+    WordSet CallReadWords;
+    WordSet CallWriteWords;
     bool HasReturn = false;
   };
 
@@ -87,10 +93,10 @@ private:
   const StmtEffects &effects(const Stmt &S) const;
 
   const PointsToAnalysis &PT;
-  std::map<const Stmt *, StmtEffects> Cache;
-  std::map<const Function *, PointsToAnalysis::TargetSet> SummaryReads;
-  std::map<const Function *, PointsToAnalysis::TargetSet> SummaryWrites;
-  PointsToAnalysis::TargetSet Empty;
+  std::unordered_map<const Stmt *, StmtEffects> Cache;
+  std::unordered_map<const Function *, WordSet> SummaryReads;
+  std::unordered_map<const Function *, WordSet> SummaryWrites;
+  WordSet Empty;
 };
 
 } // namespace earthcc

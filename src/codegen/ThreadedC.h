@@ -19,7 +19,17 @@
 ///  - parallel sequences and forall loops become TOKEN spawns plus a join
 ///    slot; placed calls become INVOKE tokens.
 ///
-/// The earthcc execution path interprets SIMPLE directly on the simulator
+/// The emitter consumes the *flat bytecode stream* the simulator executes
+/// (interp/Lower.cpp), not the SIMPLE statement tree: construct structure is
+/// decoded from the BcCtor-tagged Enter instructions and the patched jump
+/// targets, and sync-slot numbering, frame-slot layout, and dead-label
+/// facts come from the shared backend view (interp/BackendView.h). The
+/// bytecode is therefore the single source of truth for slot numbering —
+/// the engines and every backend agree by construction. Only the plain
+/// (unfused) stream is read, so `--fuse=on|off` cannot change the emitted
+/// program (pinned by the codegen tests).
+///
+/// The earthcc execution path interprets the same bytecode on the simulator
 /// (see DESIGN.md), so this emitter is a faithful *presentation* of Phase
 /// III rather than a second execution engine; tests pin down the thread
 /// partitioning and the slot discipline.
@@ -29,7 +39,7 @@
 #ifndef EARTHCC_CODEGEN_THREADEDC_H
 #define EARTHCC_CODEGEN_THREADEDC_H
 
-#include "simple/Function.h"
+#include "interp/Lower.h"
 
 #include <string>
 
@@ -41,10 +51,20 @@ struct ThreadedCInfo {
   unsigned SyncSlots = 0; ///< Sync slots allocated.
 };
 
-/// Emits Threaded-C for one function. \p Info (optional) receives counts.
-std::string emitThreadedC(const Function &F, ThreadedCInfo *Info = nullptr);
+/// Emits Threaded-C for one lowered function. \p Info (optional) receives
+/// counts. Reads only \p BF's plain (unfused) instruction stream.
+std::string emitThreadedC(const BytecodeModule &BM, const BytecodeFunction &BF,
+                          ThreadedCInfo *Info = nullptr);
 
-/// Emits Threaded-C for a whole module.
+/// Convenience overload: lowers \p M on first use (memoized on the module's
+/// execution cache) and emits \p F.
+std::string emitThreadedC(const Module &M, const Function &F,
+                          ThreadedCInfo *Info = nullptr);
+
+/// Emits Threaded-C for a whole lowered module.
+std::string emitThreadedC(const BytecodeModule &BM);
+
+/// Convenience overload: lowers \p M on first use, then emits every function.
 std::string emitThreadedC(const Module &M);
 
 } // namespace earthcc

@@ -7,6 +7,7 @@
 #include "driver/Pipeline.h"
 
 #include "analysis/Locality.h"
+#include "codegen/ThreadedC.h"
 #include "frontend/Simplify.h"
 #include "interp/Bytecode.h"
 #include "interp/Lower.h"
@@ -29,12 +30,19 @@ void IRDumpObserver::stageFinished(const StageReport &Report,
   OS << "\n";
 }
 
-/// Runs one named, timed, observed stage. \p Body receives the stage-local
-/// Statistics and returns false on failure (with R.Messages set).
-template <typename BodyFn>
-bool Pipeline::runStage(const char *Name, CompileResult &R, BodyFn &&Body) {
+/// Runs one named, timed, observed stage. \p GetM resolves the current
+/// module for observer callbacks — a callable, not a pointer, because the
+/// first compile stage creates the module inside its body (stageStarted
+/// sees null, stageFinished sees the fresh module). \p Body receives the
+/// stage-local Statistics and returns false on failure; counters are merged
+/// into \p MergeInto when non-null. This is the shared core behind the
+/// compile() stages (which accumulate into a CompileResult) and
+/// post-compile stages like codegen (which operate on a const Module).
+template <typename ModuleGetter, typename BodyFn>
+bool Pipeline::runStageOn(const char *Name, ModuleGetter &&GetM,
+                          Statistics *MergeInto, BodyFn &&Body) {
   for (PipelineObserver *O : Observers)
-    O->stageStarted(Name, R.M.get());
+    O->stageStarted(Name, GetM());
 
   StageReport Rep;
   Rep.Name = Name;
@@ -44,7 +52,8 @@ bool Pipeline::runStage(const char *Name, CompileResult &R, BodyFn &&Body) {
   bool OK = Body(Rep.Counters);
   auto T1 = std::chrono::steady_clock::now();
   Rep.WallNs = std::chrono::duration<double, std::nano>(T1 - T0).count();
-  R.Stats.merge(Rep.Counters);
+  if (MergeInto)
+    MergeInto->merge(Rep.Counters);
 
   if (Sink) {
     TraceEvent E;
@@ -64,8 +73,17 @@ bool Pipeline::runStage(const char *Name, CompileResult &R, BodyFn &&Body) {
 
   Stages.push_back(std::move(Rep));
   for (PipelineObserver *O : Observers)
-    O->stageFinished(Stages.back(), R.M.get());
+    O->stageFinished(Stages.back(), GetM());
   return OK;
+}
+
+/// Runs one named, timed, observed stage. \p Body receives the stage-local
+/// Statistics and returns false on failure (with R.Messages set).
+template <typename BodyFn>
+bool Pipeline::runStage(const char *Name, CompileResult &R, BodyFn &&Body) {
+  return runStageOn(
+      Name, [&R]() -> const Module * { return R.M.get(); }, &R.Stats,
+      std::forward<BodyFn>(Body));
 }
 
 CompileResult Pipeline::compile(const std::string &Source) {
@@ -140,6 +158,32 @@ CompileResult Pipeline::compile(const std::string &Source) {
 
   R.OK = true;
   return R;
+}
+
+std::string Pipeline::emitThreadedC(const Module &M) {
+  std::string Out;
+  runStageOn(
+      "codegen", [&M]() -> const Module * { return &M; }, nullptr,
+      [&](Statistics &S) {
+        // The emitter reads the memoized lower product — the same cached
+        // bytecode the simulator executes — so a compile()d module pays no
+        // second lowering here and slot numbering cannot diverge between
+        // the emitted program and the engines.
+        const BytecodeModule &BM = getOrLowerBytecode(M, Opts.LowerThreads);
+        uint64_t Threads = 0, SyncSlots = 0;
+        for (const auto &BF : BM.Funcs) {
+          ThreadedCInfo Info;
+          Out += ::earthcc::emitThreadedC(BM, *BF, &Info) + "\n";
+          Threads += Info.Threads;
+          SyncSlots += Info.SyncSlots;
+        }
+        S.add("codegen.functions", BM.Funcs.size());
+        S.add("codegen.threads", Threads);
+        S.add("codegen.sync-slots", SyncSlots);
+        S.add("codegen.bytes", Out.size());
+        return true;
+      });
+  return Out;
 }
 
 /// Emits the 'M' metadata events that name each simulated node's tracks in

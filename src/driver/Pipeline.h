@@ -159,10 +159,22 @@ public:
                           const std::string &Entry = "main",
                           const std::vector<RtValue> &Args = {});
 
+  /// Emits Threaded-C for \p M as a named, timed, observed "codegen" stage.
+  /// The emitter consumes the memoized "lower" stage product
+  /// (getOrLowerBytecode): after compile() the bytecode is already cached on
+  /// the module, so codegen re-reads the exact streams the simulator
+  /// executes — slot numbering in the emitted program and in the engines
+  /// cannot diverge. The stage is appended to stages() (and traced like any
+  /// compile stage), so `--stats`/`--trace` cover codegen too.
+  std::string emitThreadedC(const Module &M);
+
   /// Reports for the most recent compile(), in execution order.
   const std::vector<StageReport> &stages() const { return Stages; }
 
 private:
+  template <typename ModuleGetter, typename BodyFn>
+  bool runStageOn(const char *Name, ModuleGetter &&GetM,
+                  Statistics *MergeInto, BodyFn &&Body);
   template <typename BodyFn>
   bool runStage(const char *Name, CompileResult &R, BodyFn &&Body);
 

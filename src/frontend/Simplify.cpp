@@ -8,6 +8,9 @@
 
 #include "frontend/Lexer.h"
 #include "frontend/Parser.h"
+// For the defined-wrap / saturating conversion helpers only (header-inline;
+// this adds no link dependency on the interpreter).
+#include "interp/EngineCommon.h"
 
 #include <map>
 
@@ -237,8 +240,10 @@ private:
       return Operand::var(T);
     }
     if (From->isDouble() && To->isInt()) {
+      // Fold with the engines' conversion (saturating, NaN -> 0); the bare
+      // cast is UB out of range and would let folding diverge from runtime.
       if (O.isConst())
-        return Operand::intConst(static_cast<int64_t>(O.getConst().D));
+        return Operand::intConst(interp::doubleToIntSat(O.getConst().D));
       Var *T = F->addTemp(To);
       emit<AssignStmt>(LValue::makeVar(T),
                        std::make_unique<UnaryRV>(UnaryOp::DoubleToInt, O));
@@ -427,9 +432,11 @@ private:
     case Expr::Kind::Unary: {
       auto [O, Ty] = lowerExpr(*E.Lhs);
       if (E.UOp == Expr::UnOp::Neg) {
+        // wrapSub(0, I): negation wraps like the engines' Neg step does
+        // (plain -I is UB at INT64_MIN, reachable via -(-9223372036854775808).
         if (O.isConst())
           return {O.getConst().isInt()
-                      ? Operand::intConst(-O.getConst().I)
+                      ? Operand::intConst(interp::wrapSub(0, O.getConst().I))
                       : Operand::doubleConst(-O.getConst().D),
                   Ty};
         Var *T = F->addTemp(Ty);

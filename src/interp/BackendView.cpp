@@ -1,0 +1,317 @@
+//===- BackendView.cpp - Backend-visible view of lowered bytecode ---------===//
+//
+// Part of the earthcc project.
+//
+// Derives the backend-facing facts of one lowered function from its plain
+// instruction stream: construct extents, the emission-order sync-slot
+// numbering, live jump labels, and the per-pc presentation notes. The
+// structural walk reads only opcodes, the BcCtor tags and the pool tables —
+// never the statement tree — so a backend driven by this view agrees with
+// the execution engines on slot numbering by construction. Src is consulted
+// exclusively to resolve presentation notes (names, field strings, impure
+// condition text), mirroring how the engines use it for diagnostics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "interp/BackendView.h"
+
+#include "simple/Printer.h"
+
+#include <cassert>
+
+using namespace earthcc;
+
+//===----------------------------------------------------------------------===//
+// Structure decoding. The lowering is syntax-directed, so each construct's
+// extent is recomputable from its Enter tag and the patched jump targets.
+//===----------------------------------------------------------------------===//
+
+int32_t earthcc::bcSeqEnd(const BytecodeFunction &BF, int32_t PC) {
+  while (true) {
+    const BcInsn &I = BF.Code[PC];
+    if (I.Op == BcOp::EndSeq)
+      return PC;
+    if (I.Op == BcOp::Enter)
+      PC = bcConstructEnd(BF, PC);
+    else
+      ++PC;
+  }
+}
+
+int32_t earthcc::bcConstructEnd(const BytecodeFunction &BF, int32_t EnterPC) {
+  const std::vector<BcInsn> &C = BF.Code;
+  assert(C[EnterPC].Op == BcOp::Enter && "not a construct entry");
+  switch (static_cast<BcCtor>(C[EnterPC].Ctor)) {
+  case BcCtor::Seq:
+    // Enter, children..., EndSeq.
+    return bcSeqEnd(BF, EnterPC + 1) + 1;
+  case BcCtor::If: {
+    // Enter, Br, then..., ThenEnd, else..., ElseEnd, EndCompound; both
+    // EndSeqs target the EndCompound.
+    int32_t ThenEnd = bcSeqEnd(BF, EnterPC + 2);
+    return C[ThenEnd].A + 1;
+  }
+  case BcCtor::While:
+    // Enter, LoopCond, body..., BodyEnd; LoopCond.B == BodyEnd + 1.
+    return bcSeqEnd(BF, EnterPC + 2) + 1;
+  case BcCtor::DoWhile:
+    // Enter, Enter(body), body..., BodyEnd, LoopCond.
+    return bcSeqEnd(BF, EnterPC + 2) + 2;
+  case BcCtor::Switch: {
+    // Enter, Switch, cases..., default..., EndCompound; every case's and
+    // the default's EndSeq target the EndCompound.
+    int32_t DefaultEnd = bcSeqEnd(BF, C[EnterPC + 1].A);
+    return C[DefaultEnd].A + 1;
+  }
+  case BcCtor::Forall: {
+    // Enter, ForallInit, init..., InitEnd, ForallCond, step..., StepEnd,
+    // Join; ForallCond.B == the Join.
+    int32_t Cond = bcSeqEnd(BF, EnterPC + 2) + 1;
+    return C[Cond].B + 1;
+  }
+  case BcCtor::Par:
+    // Enter, ParSpawn, Join (branches are out-of-line fiber regions).
+    return EnterPC + 3;
+  case BcCtor::None:
+  case BcCtor::DoWhileBody:
+    break;
+  }
+  assert(false && "untagged or interior Enter has no construct extent");
+  return EnterPC + 1;
+}
+
+namespace {
+
+/// Builds one function's view. The sync-slot scan visits instructions in
+/// *emission order*: pc order within a region, with fiber-entry regions
+/// (parallel branches, forall bodies) spliced in at their spawn sites.
+class ViewBuilder {
+public:
+  ViewBuilder(const BytecodeFunction &BF, BcBackendView &V) : BF(BF), V(V) {}
+
+  void run() {
+    const size_t N = BF.Code.size();
+    V.BF = &BF;
+    V.SyncSlotAt.assign(N, -1);
+    V.LiveLabel.assign(N, 0);
+    V.Notes.resize(N);
+
+    for (size_t PC = 0; PC != N; ++PC)
+      if (BF.Code[PC].Op == BcOp::ImplicitRet) {
+        V.RetPC = static_cast<int32_t>(PC);
+        break;
+      }
+    assert(V.RetPC >= 0 && "every function terminates in an ImplicitRet");
+
+    allocRegion(0);
+    V.SyncSlotCount = NextSlot;
+    markLiveLabels();
+    for (size_t PC = 0; PC != N; ++PC)
+      fillNotes(static_cast<int32_t>(PC));
+  }
+
+private:
+  //===--------------------------------------------------------------------===
+  // Sync-slot allocation.
+  //===--------------------------------------------------------------------===
+
+  /// Allocates sync slots for the region starting at \p PC, in emission
+  /// order. A region ends at its frame-popping jump (EndSeq -> RetPC) or at
+  /// the ImplicitRet itself; interior EndSeqs (sequence pops targeting a
+  /// loop condition or an EndCompound) are just scanned past, since the
+  /// instructions of every nested construct lie between its Enter and the
+  /// region's end in pc order.
+  void allocRegion(int32_t PC) {
+    while (true) {
+      const BcInsn &I = BF.Code[PC];
+      switch (I.Op) {
+      case BcOp::ImplicitRet:
+        return;
+      case BcOp::EndSeq:
+        if (I.A == V.RetPC)
+          return;
+        break;
+      case BcOp::Assign:
+        // A remote read is the only split-phase Assign shape.
+        if (static_cast<RValueKind>(I.RK) == RValueKind::Load &&
+            loadLocality(I) != Locality::Local)
+          alloc(PC);
+        break;
+      case BcOp::BlkMov:
+        // Both directions consume a slot number; only ReadToLocal's is
+        // referenced (WriteFromLocal settles through WSYNC).
+        alloc(PC);
+        break;
+      case BcOp::Call:
+        // Every placed call burns a slot; it is referenced only when the
+        // call produces a result.
+        if (static_cast<CallPlacement>(I.Place) != CallPlacement::Default)
+          alloc(PC);
+        break;
+      case BcOp::Atomic:
+        if (static_cast<AtomicOp>(I.Sub) == AtomicOp::ValueOf)
+          alloc(PC);
+        break;
+      case BcOp::ParSpawn:
+        // The join slot precedes the branches; each branch fiber region is
+        // then visited in spawn order, before anything after the join.
+        alloc(PC);
+        for (uint32_t Br = 0; Br != I.Words; ++Br)
+          allocRegion(BF.BranchPool[I.B + Br]);
+        break;
+      case BcOp::ForallInit:
+        // The forall's join slot precedes its init code.
+        alloc(PC);
+        break;
+      case BcOp::ForallCond:
+        // The body fiber region is spliced between init and step.
+        allocRegion(I.A);
+        break;
+      default:
+        break;
+      }
+      ++PC;
+    }
+  }
+
+  void alloc(int32_t PC) { V.SyncSlotAt[PC] = static_cast<int32_t>(NextSlot++); }
+
+  /// Locality of a Load RValue. BcInsn::Loc holds the store-side locality
+  /// when the LValue is indirect, so consult the source in that one case.
+  Locality loadLocality(const BcInsn &I) const {
+    if (static_cast<LValueKind>(I.LK) == LValueKind::Var)
+      return static_cast<Locality>(I.Loc);
+    const auto &A = castStmt<AssignStmt>(*I.Src);
+    return static_cast<const LoadRV &>(*A.R).Loc;
+  }
+
+  //===--------------------------------------------------------------------===
+  // Dead-label elimination.
+  //===--------------------------------------------------------------------===
+
+  /// A pc is a live label only if control can arrive there other than by
+  /// falling through: jump targets, case/branch entries, fiber entries, and
+  /// the function entry itself. Everything else needs no label.
+  void markLiveLabels() {
+    V.LiveLabel[0] = 1;
+    for (size_t PC = 0; PC != BF.Code.size(); ++PC) {
+      const BcInsn &I = BF.Code[PC];
+      switch (I.Op) {
+      case BcOp::Br:
+        V.LiveLabel[I.A] = 1;
+        break;
+      case BcOp::LoopCond:
+      case BcOp::ForallCond:
+        V.LiveLabel[I.A] = 1;
+        V.LiveLabel[I.B] = 1;
+        break;
+      case BcOp::Switch:
+        V.LiveLabel[I.A] = 1;
+        for (uint32_t CI = 0; CI != I.Words; ++CI)
+          V.LiveLabel[BF.CasePool[I.B + CI].second] = 1;
+        break;
+      case BcOp::EndSeq:
+        // The fallthrough pop (A == PC + 1) is the dead-label case.
+        if (I.A != static_cast<int32_t>(PC) + 1)
+          V.LiveLabel[I.A] = 1;
+        break;
+      case BcOp::ParSpawn:
+        for (uint32_t Br = 0; Br != I.Words; ++Br)
+          V.LiveLabel[BF.BranchPool[I.B + Br]] = 1;
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  //===--------------------------------------------------------------------===
+  // Presentation notes (the only Src consumer).
+  //===--------------------------------------------------------------------===
+
+  void fillNotes(int32_t PC) {
+    const BcInsn &I = BF.Code[PC];
+    BcBackendView::InsnNotes &N = V.Notes[PC];
+    if (!I.Src)
+      return;
+    switch (I.Op) {
+    case BcOp::Assign: {
+      const auto &A = castStmt<AssignStmt>(*I.Src);
+      switch (A.R->kind()) {
+      case RValueKind::Load: {
+        const auto &L = static_cast<const LoadRV &>(*A.R);
+        N.AV = L.Base;
+        N.RField = L.FieldName;
+        N.RLoc = static_cast<uint8_t>(L.Loc);
+        break;
+      }
+      case RValueKind::FieldRead: {
+        const auto &FR = static_cast<const FieldReadRV &>(*A.R);
+        N.AV = FR.StructVar;
+        N.RField = FR.FieldName;
+        break;
+      }
+      case RValueKind::AddrOfField: {
+        const auto &AF = static_cast<const AddrOfFieldRV &>(*A.R);
+        N.AV = AF.Base;
+        N.RField = AF.FieldName;
+        break;
+      }
+      default:
+        break;
+      }
+      N.DstV = A.L.V;
+      N.LField = A.L.FieldName;
+      return;
+    }
+    case BcOp::Call: {
+      const auto &C = castStmt<CallStmt>(*I.Src);
+      N.DstV = C.Result;
+      N.CalleeName = C.CalleeName;
+      return;
+    }
+    case BcOp::BlkMov: {
+      const auto &B = castStmt<BlkMovStmt>(*I.Src);
+      N.AV = B.Ptr;
+      N.BV = B.LocalStruct;
+      return;
+    }
+    case BcOp::Atomic: {
+      const auto &A = castStmt<AtomicStmt>(*I.Src);
+      N.AV = A.SharedVar;
+      N.DstV = A.Result;
+      return;
+    }
+    case BcOp::Br:
+      if (I.RK == BcBadCondRK)
+        N.CondText = printRValue(*castStmt<IfStmt>(*I.Src).Cond);
+      return;
+    case BcOp::LoopCond:
+      if (I.RK == BcBadCondRK)
+        N.CondText = printRValue(*castStmt<WhileStmt>(*I.Src).Cond);
+      return;
+    case BcOp::ForallCond:
+      if (I.RK == BcBadCondRK)
+        N.CondText = printRValue(*castStmt<ForallStmt>(*I.Src).Cond);
+      return;
+    default:
+      return;
+    }
+  }
+
+  const BytecodeFunction &BF;
+  BcBackendView &V;
+  uint32_t NextSlot = 0;
+};
+
+} // namespace
+
+BcBackendView earthcc::buildBackendView(const BytecodeModule &BM,
+                                        const BytecodeFunction &BF) {
+  (void)BM; // The view is per-function; the module parameter keeps the
+            // signature stable for backends that will need shared-global
+            // resolution.
+  BcBackendView V;
+  ViewBuilder(BF, V).run();
+  return V;
+}

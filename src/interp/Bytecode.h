@@ -103,6 +103,29 @@ enum class BcOp : uint8_t {
                   ///< read from the unfused positions that follow.
 };
 
+/// Condition-shape marker for conditions that are not pure (Opnd / Unary /
+/// Binary). The engines raise the AST walker's "condition with memory
+/// access" diagnostic when they dispatch one; fusion and backends skip it.
+constexpr uint8_t BcBadCondRK = 0xff;
+
+/// Construct tag carried by every BcOp::Enter instruction: which structured
+/// construct the entered region belongs to. The execution engines ignore it
+/// (Enter is a pure fall-through step either way); backends use it to decode
+/// the flat stream — e.g. to tell a nested sequence whose first child is a
+/// compound (Enter, Enter, ...) from a do-while body entry (also Enter,
+/// Enter, ...) — without consulting the statement tree.
+enum class BcCtor : uint8_t {
+  None = 0,    ///< Not an Enter (default on every other opcode).
+  Seq,         ///< Nested sequential sequence.
+  If,          ///< If: the next instruction is the Br.
+  While,       ///< While loop: the next instruction is the LoopCond.
+  DoWhile,     ///< Do-while: the next instruction is the body-entry Enter.
+  Switch,      ///< Switch: the next instruction is the dispatch.
+  Forall,      ///< Forall: the next instruction is the ForallInit.
+  Par,         ///< Parallel sequence: the next instruction is the ParSpawn.
+  DoWhileBody, ///< The do-while's own body-entry step (second Enter).
+};
+
 /// A leaf operand resolved to a frame slot or a pre-built constant value.
 struct BcOperand {
   enum class K : uint8_t { None, Slot, Const } Kind = K::None;
@@ -122,6 +145,7 @@ struct BcInsn {
   uint8_t Sub = 0;   ///< UnaryOp/BinaryOp/AtomicOp/BlkMovDir/Intrinsic.
   uint8_t Loc = 0;   ///< Locality of a Load/Store (cast of Locality).
   uint8_t Place = 0; ///< CallPlacement of a Call.
+  uint8_t Ctor = 0;  ///< BcCtor construct tag of an Enter (backends only).
   int32_t A = -1;    ///< Slot or jump target (opcode-specific).
   int32_t B = -1;    ///< Slot, jump target or pool index (opcode-specific).
   uint32_t Off = 0;  ///< Word offset of a field access.

@@ -58,6 +58,21 @@ inline int64_t wrapMul(int64_t X, int64_t Y) {
                               static_cast<uint64_t>(Y));
 }
 
+/// double -> int64 with saturation, NaN -> 0. The plain cast is undefined
+/// for out-of-range values; every conversion the toolchain performs —
+/// engine DoubleToInt steps and the frontend's compile-time folding of
+/// double literals in int context — must agree on this one definition, or
+/// constant-folded programs could diverge from interpreted ones.
+inline int64_t doubleToIntSat(double D) {
+  constexpr double Lim = 9223372036854775808.0; // 2^63
+  if (D >= -Lim && D < Lim)
+    return static_cast<int64_t>(D);
+  if (D != D)
+    return 0;
+  return D < 0 ? std::numeric_limits<int64_t>::min()
+               : std::numeric_limits<int64_t>::max();
+}
+
 inline RtValue evalBinary(BinaryOp Op, const RtValue &A, const RtValue &B) {
   if (A.K == RtValue::Kind::Ptr || B.K == RtValue::Kind::Ptr) {
     bool Eq;
@@ -137,18 +152,10 @@ inline RtValue evalUnary(UnaryOp Op, const RtValue &A) {
     return RtValue::makeInt(A.truthy() ? 0 : 1);
   case UnaryOp::IntToDouble:
     return RtValue::makeDbl(static_cast<double>(A.I));
-  case UnaryOp::DoubleToInt: {
+  case UnaryOp::DoubleToInt:
     if (A.K != RtValue::Kind::Dbl)
       return A;
-    // Saturate out-of-range conversions and map NaN to 0; the plain cast
-    // is undefined there and the result must stay deterministic.
-    constexpr double Lim = 9223372036854775808.0; // 2^63
-    if (!(A.D >= -Lim && A.D < Lim))
-      return RtValue::makeInt(A.D != A.D ? 0
-                              : A.D < 0  ? std::numeric_limits<int64_t>::min()
-                                         : std::numeric_limits<int64_t>::max());
-    return RtValue::makeInt(static_cast<int64_t>(A.D));
-  }
+    return RtValue::makeInt(doubleToIntSat(A.D));
   }
   fail("bad unary operator");
 }

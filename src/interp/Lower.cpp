@@ -45,8 +45,8 @@ using namespace earthcc;
 namespace {
 
 /// Condition-shape marker for conditions that are not pure (parity with the
-/// AST engine's pureAvail error path).
-constexpr uint8_t BadCondRK = 0xff;
+/// AST engine's pureAvail error path). Shared with fusion and the backends.
+constexpr uint8_t BadCondRK = BcBadCondRK;
 
 class FunctionLowering {
 public:
@@ -85,6 +85,26 @@ private:
     I.Src = Src;
     BF.Code.push_back(I);
     return pc() - 1;
+  }
+
+  /// The backend-facing construct tag of a non-basic statement (see BcCtor).
+  static BcCtor ctorOf(const Stmt &S) {
+    switch (S.kind()) {
+    case StmtKind::Seq:
+      return castStmt<SeqStmt>(S).Parallel ? BcCtor::Par : BcCtor::Seq;
+    case StmtKind::If:
+      return BcCtor::If;
+    case StmtKind::While:
+      return castStmt<WhileStmt>(S).IsDoWhile ? BcCtor::DoWhile
+                                              : BcCtor::While;
+    case StmtKind::Switch:
+      return BcCtor::Switch;
+    case StmtKind::Forall:
+      return BcCtor::Forall;
+    default:
+      assert(false && "basic statements are never entered");
+      return BcCtor::None;
+    }
   }
 
   void patch(int32_t Insn, int32_t BcInsn::*Field, int32_t Target) {
@@ -268,7 +288,8 @@ private:
         continue;
       }
       // The walker spends one step pushing a non-basic child.
-      emit(BcOp::Enter, Child.get());
+      BF.Code[emit(BcOp::Enter, Child.get())].Ctor =
+          static_cast<uint8_t>(ctorOf(*Child));
       lowerCompound(*Child);
     }
   }
@@ -347,7 +368,8 @@ private:
         return;
       }
       // do-while: the walker spends one step entering the body first.
-      emit(BcOp::Enter, &S);
+      BF.Code[emit(BcOp::Enter, &S)].Ctor =
+          static_cast<uint8_t>(BcCtor::DoWhileBody);
       int32_t Body = pc();
       lowerSeqChildren(*W.Body);
       int32_t BodyEnd = emit(BcOp::EndSeq, W.Body.get());

@@ -8,6 +8,7 @@
 
 #include "analysis/PointsTo.h"
 #include "simple/Verifier.h"
+#include "support/FlatSet.h"
 
 #include <cassert>
 #include <deque>
@@ -17,6 +18,12 @@ using namespace earthcc;
 namespace {
 
 using RCEKey = std::pair<const Var *, unsigned>;
+
+struct RCEKeyHash {
+  size_t operator()(const RCEKey &K) const {
+    return std::hash<const Var *>()(K.first) * 31 + K.second;
+  }
+};
 
 /// Tri-state result of the "dereference on all paths" check (the paper's
 /// footnote 2: a hoisted read is only safe where some dereference of the
@@ -294,8 +301,12 @@ private:
                                    ///< original target variable as cache.
   };
 
-  std::map<RCEKey, ScalarBinding> LiveScalar;
-  std::map<const Var *, Var *> LiveBlock;
+  /// The paper's hash table of selected operations, as hashed flat maps:
+  /// the branch walks snapshot/restore these wholesale (If/Switch/While and
+  /// every parallel branch), so cheap contiguous copies matter more than
+  /// ordered iteration — nothing iterates them except invalidateAfter.
+  FlatMap<RCEKey, ScalarBinding, RCEKeyHash> LiveScalar;
+  FlatMap<const Var *, Var *> LiveBlock;
   std::optional<std::pair<RCEKey, ScalarBinding>> PendingBinding;
 
   /// True if reading (T.Base, T.Off) might observe memory that an active
@@ -312,8 +323,8 @@ private:
   }
 
   struct BindingSnapshot {
-    std::map<RCEKey, ScalarBinding> Scalars;
-    std::map<const Var *, Var *> Blocks;
+    FlatMap<RCEKey, ScalarBinding, RCEKeyHash> Scalars;
+    FlatMap<const Var *, Var *> Blocks;
   };
 
   BindingSnapshot snapshot() const { return {LiveScalar, LiveBlock}; }
@@ -324,30 +335,26 @@ private:
 
   /// Drops every binding whose cached value \p S may invalidate.
   void invalidateAfter(const Stmt &S) {
-    for (auto It = LiveScalar.begin(); It != LiveScalar.end();) {
-      const auto &[Key, B] = *It;
-      bool Dead = SE.varWritten(Key.first, S) ||
-                  SE.accessedViaAlias(Key.first, Key.second, S,
-                                      /*Write=*/true) ||
-                  // Program-variable caches (redundancy-elim-only mode)
-                  // cannot be refreshed by emitted coherence code, so any
-                  // direct store inside S — e.g. within a branch whose
-                  // binding updates were rolled back — kills them too.
-                  (B.TempIsProgramVar &&
-                   (SE.varWritten(B.Temp, S) ||
-                    SE.directlyWrites(Key.first, Key.second, S)));
-      It = Dead ? LiveScalar.erase(It) : std::next(It);
-    }
-    for (auto It = LiveBlock.begin(); It != LiveBlock.end();) {
-      const Var *Base = It->first;
-      bool Dead = SE.varWritten(Base, S);
-      if (!Dead) {
-        unsigned Words = Base->type()->pointee()->sizeInWords();
-        for (unsigned Off = 0; Off != Words && !Dead; ++Off)
-          Dead = SE.accessedViaAlias(Base, Off, S, /*Write=*/true);
-      }
-      It = Dead ? LiveBlock.erase(It) : std::next(It);
-    }
+    LiveScalar.eraseIf([&](const RCEKey &Key, const ScalarBinding &B) {
+      return SE.varWritten(Key.first, S) ||
+             SE.accessedViaAlias(Key.first, Key.second, S, /*Write=*/true) ||
+             // Program-variable caches (redundancy-elim-only mode) cannot
+             // be refreshed by emitted coherence code, so any direct store
+             // inside S — e.g. within a branch whose binding updates were
+             // rolled back — kills them too.
+             (B.TempIsProgramVar &&
+              (SE.varWritten(B.Temp, S) ||
+               SE.directlyWrites(Key.first, Key.second, S)));
+    });
+    LiveBlock.eraseIf([&](const Var *Base, Var *) {
+      if (SE.varWritten(Base, S))
+        return true;
+      unsigned Words = Base->type()->pointee()->sizeInWords();
+      for (unsigned Off = 0; Off != Words; ++Off)
+        if (SE.accessedViaAlias(Base, Off, S, /*Write=*/true))
+          return true;
+      return false;
+    });
   }
 
   //===--------------------------------------------------------------------===
@@ -361,9 +368,8 @@ private:
 
   void emitFill(SeqStmt &Out, WriteGroup *G) {
     ActiveGroups.insert(G);
-    auto It = LiveBlock.find(G->Base);
-    if (It != LiveBlock.end()) {
-      G->Block = It->second; // RemoteFill satisfied by the blocked read.
+    if (Var *const *Block = LiveBlock.find(G->Base)) {
+      G->Block = *Block; // RemoteFill satisfied by the blocked read.
       Stats.add("select.fill_reused");
       return;
     }
@@ -450,14 +456,13 @@ private:
     // Remote reads: substitute a live local copy if one exists.
     if (A.isRemoteRead()) {
       const auto &L = static_cast<const LoadRV &>(*A.R);
-      auto BlockIt = LiveBlock.find(L.Base);
-      if (BlockIt != LiveBlock.end()) {
-        A.R = std::make_unique<FieldReadRV>(BlockIt->second, L.OffsetWords,
+      if (Var *const *Block = LiveBlock.find(L.Base)) {
+        A.R = std::make_unique<FieldReadRV>(*Block, L.OffsetWords,
                                             L.FieldName, L.ValueTy);
         Stats.add("select.rewritten_reads");
-      } else if (auto It = LiveScalar.find({L.Base, L.OffsetWords});
-                 It != LiveScalar.end()) {
-        A.R = std::make_unique<OpndRV>(Operand::var(It->second.Temp));
+      } else if (const ScalarBinding *SB =
+                     LiveScalar.find({L.Base, L.OffsetWords})) {
+        A.R = std::make_unique<OpndRV>(Operand::var(SB->Temp));
         Stats.add("select.rewritten_reads");
       } else if (Opts.EnableRedundancyElim && !Opts.EnableReadMotion &&
                  A.L.Kind == LValueKind::Var && A.L.V != L.Base) {
@@ -492,11 +497,10 @@ private:
         Out.push(std::move(S));
         // A live pipelined copy of this location must track the new value
         // (the read may have been hoisted above this store).
-        if (auto ScalarIt = LiveScalar.find({Base, Off});
-            ScalarIt != LiveScalar.end() &&
-            !ScalarIt->second.TempIsProgramVar) {
+        if (const ScalarBinding *SB = LiveScalar.find({Base, Off});
+            SB && !SB->TempIsProgramVar) {
           Out.push(std::make_unique<AssignStmt>(
-              LValue::makeVar(ScalarIt->second.Temp),
+              LValue::makeVar(SB->Temp),
               std::make_unique<OpndRV>(Val)));
           Stats.add("select.coherence_updates");
         }
@@ -508,20 +512,20 @@ private:
       // outlive each other, so both must track the new value.
       std::string FieldName = A.L.FieldName;
       Out.push(std::move(S));
-      if (auto BlockIt = LiveBlock.find(Base); BlockIt != LiveBlock.end()) {
+      if (Var *const *Block = LiveBlock.find(Base)) {
         Out.push(std::make_unique<AssignStmt>(
-            LValue::makeFieldWrite(BlockIt->second, Off, FieldName),
+            LValue::makeFieldWrite(*Block, Off, FieldName),
             std::make_unique<OpndRV>(Val)));
         Stats.add("select.coherence_updates");
       }
-      if (auto It = LiveScalar.find({Base, Off}); It != LiveScalar.end()) {
-        if (It->second.TempIsProgramVar &&
-            (!Val.isVar() || Val.getVar() != It->second.Temp)) {
+      if (const ScalarBinding *SB = LiveScalar.find({Base, Off})) {
+        if (SB->TempIsProgramVar &&
+            (!Val.isVar() || Val.getVar() != SB->Temp)) {
           // The cached program variable no longer matches; drop it.
-          LiveScalar.erase(It);
-        } else if (!It->second.TempIsProgramVar) {
+          LiveScalar.erase({Base, Off});
+        } else if (!SB->TempIsProgramVar) {
           Out.push(std::make_unique<AssignStmt>(
-              LValue::makeVar(It->second.Temp),
+              LValue::makeVar(SB->Temp),
               std::make_unique<OpndRV>(Val)));
           Stats.add("select.coherence_updates");
         }
@@ -658,7 +662,7 @@ private:
   std::map<int, WriteGroup *> LabelToGroup;
   std::map<const Stmt *, std::vector<WriteGroup *>> FillAt;
   std::map<const Stmt *, std::vector<WriteGroup *>> SinkAt;
-  std::set<RCEKey> SelectedWriteKeys;
+  FlatSet<RCEKey, RCEKeyHash> SelectedWriteKeys;
 };
 
 } // namespace

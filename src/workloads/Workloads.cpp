@@ -85,20 +85,20 @@ const std::vector<Workload> &earthcc::oldenWorkloads() {
                    earthccPerimeterSource, {{"depth", "6", "4"}}),
       makeWorkload("tsp",
                    "Sub-optimal traveling-salesperson tour over a point tree",
-                   "32K cities", "256 cities",
+                   "32K cities", "2K cities (depth-11 BSP tree)",
                    "redundant communication elimination + pipelining",
-                   earthccTspSource, {{"depth", "10", "7"}}),
+                   earthccTspSource, {{"depth", "11", "7"}}),
       makeWorkload("health",
                    "Colombian health-care simulation over a 4-way village tree",
                    "4 levels, 600 iterations",
-                   "4 levels (85 villages), 24 iterations",
+                   "4 levels (85 villages), 48 iterations",
                    "pipelining + redundancy elimination", earthccHealthSource,
-                   {{"levels", "3", "2"}, {"iters", "24", "8"}}),
+                   {{"levels", "3", "2"}, {"iters", "48", "8"}}),
       makeWorkload("voronoi",
                    "Divide-and-conquer geometric merge over a point tree",
-                   "32K points", "512 points",
+                   "32K points", "1K points (depth-11 point tree)",
                    "redundancy elimination + blocking", earthccVoronoiSource,
-                   {{"depth", "10", "7"}}),
+                   {{"depth", "11", "7"}}),
   };
   return Workloads;
 }

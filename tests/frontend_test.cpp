@@ -487,6 +487,29 @@ TEST(SimplifyTest, IntDoublePromotion) {
   EXPECT_TRUE(HasConversion);
 }
 
+TEST(SimplifyTest, ConstantFoldingAtInt64Boundaries) {
+  // Compile-time folds must match the engines' defined semantics: unary
+  // minus wraps (interp::wrapSub) and double->int saturates with NaN -> 0
+  // (interp::doubleToIntSat). The bare `-I` / `static_cast<int64_t>(D)`
+  // folds were UB on exactly these boundary literals — under UBSan this
+  // test trapped before the folds were routed through the helpers.
+  auto M = compileOK(R"(
+    int main() {
+      int hi; int lo; int edge;
+      hi = 1e300;
+      lo = -1e300;
+      edge = -9223372036854775807;
+      return hi + lo + edge;
+    }
+  )");
+  std::string IR = printModule(*M);
+  // 1e300 saturates to INT64_MAX; -1e300 (folded through the double Neg
+  // first) saturates to INT64_MIN.
+  EXPECT_NE(IR.find("= 9223372036854775807"), std::string::npos) << IR;
+  EXPECT_NE(IR.find("= -9223372036854775808"), std::string::npos) << IR;
+  EXPECT_NE(IR.find("= -9223372036854775807"), std::string::npos) << IR;
+}
+
 //===----------------------------------------------------------------------===//
 // Semantic errors.
 //===----------------------------------------------------------------------===//
