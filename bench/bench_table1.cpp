@@ -18,7 +18,9 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "driver/ProfileReport.h"
 #include "interp/Lower.h"
+#include "support/CommProfiler.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -135,6 +137,28 @@ double hostSimNs(Pipeline &P, const CompileResult &CR, ExecEngine Engine,
     P.run(CR, MC);
   auto T1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::nano>(T1 - T0).count() / Iters;
+}
+
+/// Minimum host wall time over \p Iters simulations, with \p Prof attached
+/// when non-null. The profiler-overhead comparison uses minimums rather
+/// than means: a minimum rejects the scheduler spikes that would otherwise
+/// dominate a small relative difference.
+double hostSimMinNs(Pipeline &P, const CompileResult &CR, int Iters,
+                    CommProfiler *Prof) {
+  MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
+  MC.Engine = ExecEngine::Bytecode;
+  MC.Profiler = Prof;
+  P.run(CR, MC); // warmup
+  double Best = -1.0;
+  for (int I = 0; I != Iters; ++I) {
+    auto T0 = std::chrono::steady_clock::now();
+    P.run(CR, MC);
+    auto T1 = std::chrono::steady_clock::now();
+    double Ns = std::chrono::duration<double, std::nano>(T1 - T0).count();
+    if (Best < 0 || Ns < Best)
+      Best = Ns;
+  }
+  return Best;
 }
 
 /// Mean host nanoseconds for one from-scratch lowering of \p M at
@@ -270,6 +294,27 @@ int main(int argc, char **argv) {
               "  serial          %10.1f us\n"
               "  %2u thread(s)    %10.1f us\n",
               SimIters, LowerSerialNs / 1e3, LowerPar, LowerParNs / 1e3);
+  if (LowerPar <= 1)
+    std::printf("  (single hardware thread: the second figure is the serial "
+                "path plus\n   thread-pool dispatch overhead, not a parallel "
+                "measurement)\n");
+
+  // Profiler overhead: the per-site observability must stay out of the hot
+  // loop when detached (one predictable branch per comm op) and cheap when
+  // attached. Min-of-N wall times over the same run, profiler off vs on.
+  const int ProfIters = 5;
+  CommProfiler Prof;
+  double ProfOffNs = hostSimMinNs(SimP, SimCR, ProfIters, nullptr);
+  double ProfOnNs = hostSimMinNs(SimP, SimCR, ProfIters, &Prof);
+  double ProfOverheadPct =
+      ProfOffNs > 0 ? 100.0 * (ProfOnNs - ProfOffNs) / ProfOffNs : 0.0;
+  std::printf("\nCommProfiler overhead (health, optimized, 4 nodes, "
+              "min of %d runs):\n"
+              "  profiler off    %10.1f ms\n"
+              "  profiler on     %10.1f ms   (%+.1f%%)\n"
+              "  recorded: %llu remote messages across %u sites\n",
+              ProfIters, ProfOffNs / 1e6, ProfOnNs / 1e6, ProfOverheadPct,
+              (unsigned long long)Prof.totalMsgs(), Prof.numSites());
 
   // Per-pass host wall times for the optimized compile of health, plus the
   // Threaded-C "codegen" stage over the memoized bytecode. Emitting here
@@ -319,11 +364,27 @@ int main(int argc, char **argv) {
                   (unsigned long long)FusedRun.FusedSteps,
                   (unsigned long long)FusedRun.StepsExecuted);
     Out << Buf;
+    // parallel_exercised is the honesty bit: on a single-hardware-thread
+    // host the "parallel" figure is serial work plus pool dispatch
+    // overhead, and downstream consumers must not read it as a speedup.
     std::snprintf(Buf, sizeof(Buf),
                   "  \"lower_ns\": {\"serial\": %.0f, \"parallel\": %.0f, "
-                  "\"parallel_threads\": %u},\n",
-                  LowerSerialNs, LowerParNs, LowerPar);
+                  "\"parallel_threads\": %u, \"hardware_threads\": %u, "
+                  "\"parallel_exercised\": %s},\n",
+                  LowerSerialNs, LowerParNs, LowerPar,
+                  ThreadPool::hardwareThreads(),
+                  LowerPar > 1 ? "true" : "false");
     Out << Buf;
+    // The <= 2% profiler-off budget is verified on quiet hardware via the
+    // committed artifact (off is the same code path host_sim_ns measures);
+    // CI only shape-checks this block, as wall ratios are noisy there.
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"profiler\": {\"off_ns\": %.0f, \"on_ns\": %.0f, "
+                  "\"overhead_pct\": %.2f},\n",
+                  ProfOffNs, ProfOnNs, ProfOverheadPct);
+    Out << Buf;
+    Out << "  \"comm_profile\": "
+        << profileReportJson(*SimCR.M, Prof, &SimCR.Remarks) << ",\n";
     Out << "  \"pass_ns\": {";
     for (size_t I = 0; I != SimP.stages().size(); ++I) {
       const StageReport &SR = SimP.stages()[I];

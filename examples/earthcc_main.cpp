@@ -20,6 +20,13 @@
 //   --dump-after-pass   print the SIMPLE program after every pipeline stage
 //   --stats             print optimizer statistics and dynamic counters
 //   --trace FILE        write a Chrome trace (chrome://tracing, Perfetto)
+//   --profile[=json]    per-site communication profile: a table joining each
+//                       comm site's optimizer remarks with its dynamic
+//                       message counts / words / latency percentiles
+//                       (=json emits the same join as one JSON object)
+//   --remarks           print the optimizer's structured remarks
+//   --workload NAME     run an embedded Olden workload (power, perimeter,
+//                       tsp, health, voronoi) instead of a source file
 //   --entry NAME        entry function (default main)
 //   --threshold W       blocking threshold in words (default 3)
 //
@@ -29,8 +36,11 @@
 
 #include "codegen/ThreadedC.h"
 #include "driver/Pipeline.h"
+#include "driver/ProfileReport.h"
 #include "simple/Printer.h"
+#include "support/CommProfiler.h"
 #include "support/Trace.h"
+#include "workloads/Workloads.h"
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,7 +57,9 @@ static void usage(const char *Argv0) {
                "[--fuse on|off] [--lower-threads N] [--no-opt] "
                "[--seq] [--locality] [--dump-ir] "
                "[--dump-after-pass] [--emit-threaded] [--stats] "
-               "[--trace FILE] [--entry NAME] [--threshold W] program.ec\n",
+               "[--trace FILE] [--profile[=json]] [--remarks] "
+               "[--workload NAME] [--entry NAME] [--threshold W] "
+               "[program.ec]\n",
                Argv0);
 }
 
@@ -62,6 +74,10 @@ int main(int argc, char **argv) {
   bool Stats = false;
   std::string Entry = "main";
   std::string Path;
+  std::string WorkloadName;
+  bool Profile = false;
+  bool ProfileJson = false;
+  bool PrintRemarks = false;
   std::string TracePath;
   unsigned Threshold = 3;
   ExecEngine Engine = ExecEngine::Bytecode;
@@ -129,6 +145,14 @@ int main(int argc, char **argv) {
       EmitThreaded = true;
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--profile") {
+      Profile = true;
+    } else if (Arg == "--profile=json") {
+      Profile = ProfileJson = true;
+    } else if (Arg == "--remarks") {
+      PrintRemarks = true;
+    } else if (Arg == "--workload" && I + 1 < argc) {
+      WorkloadName = argv[++I];
     } else if (Arg == "--trace" && I + 1 < argc) {
       TracePath = argv[++I];
     } else if (Arg == "--entry" && I + 1 < argc) {
@@ -142,18 +166,35 @@ int main(int argc, char **argv) {
       Path = Arg;
     }
   }
-  if (Path.empty() || Nodes == 0) {
+  if ((Path.empty() == WorkloadName.empty()) || Nodes == 0) {
     usage(argv[0]);
     return 2;
   }
 
-  std::ifstream In(Path);
-  if (!In) {
-    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
-    return 1;
+  std::string Source;
+  if (!WorkloadName.empty()) {
+    const Workload *W = findWorkload(WorkloadName);
+    if (!W) {
+      std::fprintf(stderr, "error: unknown workload '%s' (",
+                   WorkloadName.c_str());
+      const auto &All = oldenWorkloads();
+      for (size_t I = 0; I != All.size(); ++I)
+        std::fprintf(stderr, "%s%s", I ? ", " : "", All[I].Name.c_str());
+      std::fprintf(stderr, ")\n");
+      return 2;
+    }
+    Source = W->Source;
+    Path = "workload:" + WorkloadName;
+  } else {
+    std::ifstream In(Path);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Source = Buf.str();
   }
-  std::ostringstream Buf;
-  Buf << In.rdbuf();
 
   PipelineOptions PO;
   PO.Optimize = Optimize && !Sequential;
@@ -169,7 +210,7 @@ int main(int argc, char **argv) {
   if (DumpAfterPass)
     P.addObserver(&Dumper);
 
-  CompileResult CR = P.compile(Buf.str());
+  CompileResult CR = P.compile(Source);
   if (!CR.OK) {
     std::fprintf(stderr, "%s", CR.Messages.c_str());
     return 1;
@@ -179,18 +220,32 @@ int main(int argc, char **argv) {
     std::printf("%s\n", printModule(*CR.M).c_str());
   if (EmitThreaded)
     std::printf("%s", P.emitThreadedC(*CR.M).c_str());
+  if (PrintRemarks)
+    std::printf("%s", CR.Remarks.str().c_str());
 
   MachineConfig MC;
   MC.NumNodes = Sequential ? 1 : Nodes;
   MC.SequentialMode = Sequential;
   MC.Engine = Engine;
   MC.Fuse = Fuse;
+  CommProfiler Prof;
+  if (Profile)
+    MC.Profiler = &Prof;
   RunResult R = P.run(CR, MC, Entry);
   for (const std::string &Line : R.Output)
     std::printf("%s\n", Line.c_str());
   if (!R.OK) {
     std::fprintf(stderr, "runtime error: %s\n", R.Error.c_str());
     return 1;
+  }
+
+  if (Profile) {
+    if (ProfileJson)
+      std::printf("%s\n",
+                  profileReportJson(*CR.M, Prof, &CR.Remarks).c_str());
+    else
+      std::printf("%s",
+                  renderProfileReport(*CR.M, Prof, &CR.Remarks).c_str());
   }
 
   if (!TracePath.empty()) {

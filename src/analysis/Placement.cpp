@@ -6,6 +6,8 @@
 
 #include "analysis/Placement.h"
 
+#include "support/Remark.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cmath>
@@ -14,15 +16,21 @@
 
 using namespace earthcc;
 
+/// Renders a frequency the way RCE::str does: integral values without a
+/// decimal point.
+static std::string fmtFreq(double F) {
+  std::ostringstream OS;
+  if (F == std::floor(F))
+    OS << static_cast<long long>(F);
+  else
+    OS << F;
+  return OS.str();
+}
+
 std::string RCE::str() const {
   std::ostringstream OS;
   OS << "(" << Base->name() << "->"
-     << (FieldName.empty() ? "*" : FieldName) << ", ";
-  if (Freq == std::floor(Freq))
-    OS << static_cast<long long>(Freq);
-  else
-    OS << Freq;
-  OS << ", ";
+     << (FieldName.empty() ? "*" : FieldName) << ", " << fmtFreq(Freq) << ", ";
   for (size_t I = 0; I != DList.size(); ++I)
     OS << (I ? ":" : "") << "S" << DList[I];
   OS << ")";
@@ -107,8 +115,8 @@ std::vector<RCE> toVector(const RCESet &Set) {
 class PlacementAnalyzer {
 public:
   PlacementAnalyzer(const Function &F, const SideEffects &SE,
-                    const PlacementOptions &Opts)
-      : F(F), SE(SE), Opts(Opts) {}
+                    const PlacementOptions &Opts, RemarkStream *Remarks)
+      : F(F), SE(SE), Opts(Opts), Remarks(Remarks) {}
 
   PlacementResult run() {
     collectReadsSeq(F.body());
@@ -156,6 +164,7 @@ private:
         T.ValueTy = L.ValueTy;
         T.Freq = 1.0;
         T.DList = {S.label()};
+        T.Loc = S.loc();
         Out.add(std::move(T));
       }
       return Out;
@@ -240,6 +249,24 @@ private:
         continue;
       RCE Adjusted = T;
       Adjusted.Freq = T.Freq * Opts.LoopFrequencyFactor;
+      if (Remarks) {
+        Remark R;
+        R.Pass = "placement";
+        R.Category = "hoist-loop";
+        R.Function = F.name();
+        R.Loc = T.Loc;
+        R.Message = "read " + T.Base->name() + "->" +
+                    (T.FieldName.empty() ? "*" : T.FieldName) +
+                    " may hoist out of loop: est. frequency " +
+                    fmtFreq(T.Freq) + " -> " + fmtFreq(Adjusted.Freq) + " (x" +
+                    fmtFreq(Opts.LoopFrequencyFactor) + ")";
+        R.Args = {{"base", T.Base->name()},
+                  {"field", T.FieldName.empty() ? "*" : T.FieldName},
+                  {"freq_in", fmtFreq(T.Freq)},
+                  {"freq_out", fmtFreq(Adjusted.Freq)},
+                  {"factor", fmtFreq(Opts.LoopFrequencyFactor)}};
+        Remarks->emit(std::move(R));
+      }
       Out.add(std::move(Adjusted));
     }
     return Out;
@@ -281,6 +308,7 @@ private:
         T.ValueTy = nullptr;
         T.Freq = 1.0;
         T.DList = {S.label()};
+        T.Loc = S.loc();
         Out.add(std::move(T));
       }
       return Out;
@@ -385,6 +413,7 @@ private:
   const Function &F;
   const SideEffects &SE;
   const PlacementOptions &Opts;
+  RemarkStream *Remarks = nullptr;
   PlacementResult Result;
 };
 
@@ -392,6 +421,7 @@ private:
 
 PlacementResult earthcc::runPlacementAnalysis(const Function &F,
                                               const SideEffects &SE,
-                                              const PlacementOptions &Opts) {
-  return PlacementAnalyzer(F, SE, Opts).run();
+                                              const PlacementOptions &Opts,
+                                              RemarkStream *Remarks) {
+  return PlacementAnalyzer(F, SE, Opts, Remarks).run();
 }

@@ -41,12 +41,15 @@
 #define EARTHCC_ANALYSIS_PLACEMENT_H
 
 #include "analysis/SideEffects.h"
+#include "support/SourceLoc.h"
 
 #include <map>
 #include <string>
 #include <vector>
 
 namespace earthcc {
+
+class RemarkStream;
 
 /// A remote communication expression: the paper's (p, f, n, Dlist) tuple.
 struct RCE {
@@ -56,6 +59,9 @@ struct RCE {
   const Type *ValueTy = nullptr;  ///< Scalar type of the accessed field.
   double Freq = 1.0;
   std::vector<int> DList;         ///< Sorted basic-statement labels.
+  /// Location of the first access the tuple was generated from; carried so
+  /// remarks and inserted communication keep a stable source anchor.
+  SourceLoc Loc;
 
   /// Renders like the paper: "(p->x, 11, S4:S11)".
   std::string str() const;
@@ -82,9 +88,12 @@ private:
   std::vector<RCE> Empty;
 };
 
-/// Runs possible-placement analysis over \p F.
+/// Runs possible-placement analysis over \p F. When \p Remarks is non-null,
+/// the analysis emits one "placement" remark per tuple it hoists out of a
+/// loop, carrying the frequency adjustment (the paper's x LoopFactor).
 PlacementResult runPlacementAnalysis(const Function &F, const SideEffects &SE,
-                                     const PlacementOptions &Opts = {});
+                                     const PlacementOptions &Opts = {},
+                                     RemarkStream *Remarks = nullptr);
 
 } // namespace earthcc
 

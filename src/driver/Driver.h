@@ -23,6 +23,7 @@
 
 #include "interp/Interp.h"
 #include "simple/Function.h"
+#include "support/Remark.h"
 #include "support/Statistics.h"
 #include "transform/CommSelection.h"
 
@@ -48,6 +49,10 @@ struct CompileResult {
   std::unique_ptr<Module> M;
   Statistics Stats;     ///< Pass counters (select.* keys).
   std::string Messages; ///< Diagnostics / verifier errors when !OK.
+  /// Structured optimization remarks from the placement analysis and the
+  /// communication-selection transform, in emission order (a stage product
+  /// of the "comm-select" stage; empty when optimization is off).
+  RemarkStream Remarks;
 };
 
 /// Compiles EARTH-C source text into a verified SIMPLE module.

@@ -126,8 +126,10 @@ CompileResult Pipeline::compile(const std::string &Source) {
   if (Opts.Optimize) {
     OK = runStage("comm-select", R, [&](Statistics &S) {
       std::vector<std::string> Errors;
-      if (optimizeModuleCommunication(*R.M, Opts, S, Errors))
+      if (optimizeModuleCommunication(*R.M, Opts, S, Errors, &R.Remarks)) {
+        S.add("select.remarks", R.Remarks.size());
         return true;
+      }
       R.Messages =
           "internal error: communication selection broke the module:\n";
       for (const std::string &E : Errors)

@@ -28,6 +28,7 @@
 namespace earthcc {
 
 class TraceSink;
+class CommProfiler;
 
 /// A word address in the global address space: (node, word offset).
 struct GlobalAddr {
@@ -171,6 +172,12 @@ struct MachineConfig {
   /// slice, and sync-slot signal (node- and cycle-attributed). Non-owning;
   /// null means tracing off and costs nothing on the hot path.
   TraceSink *Trace = nullptr;
+  /// Per-site communication profiling: when set, both engines accumulate
+  /// message counts, words moved, latency histograms and a per-node traffic
+  /// matrix keyed by CommSites ids (simulated clock, so the profile is
+  /// engine- and fusion-invariant). Non-owning; null means profiling off
+  /// and costs one branch per comm operation.
+  CommProfiler *Profiler = nullptr;
 };
 
 /// Per-node memory plus allocation; the aggregate is the global address

@@ -16,6 +16,7 @@
 
 #include "interp/EngineCommon.h"
 #include "interp/Interp.h"
+#include "support/CommProfiler.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -94,7 +95,7 @@ enum class StepStatus { Continue, BlockRetry, YieldAt, WaitJoin, FiberDone };
 class BcInterp {
 public:
   BcInterp(const BytecodeModule &BM, const MachineConfig &Cfg)
-      : BM(BM), Cfg(Cfg), Fuse(Cfg.Fuse), Trc(Cfg.Trace),
+      : BM(BM), Cfg(Cfg), Fuse(Cfg.Fuse), Trc(Cfg.Trace), Prof(Cfg.Profiler),
         Mem(std::max(1u, Cfg.NumNodes)), EUClock(Mem.numNodes(), 0.0),
         SUClock(Mem.numNodes(), 0.0), LastFiber(Mem.numNodes(), nullptr) {}
 
@@ -397,6 +398,8 @@ private:
         if (Trc)
           traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
                        {{"op", "read-data"}});
+        if (Prof)
+          Prof->recordLocal(I.Site, CommOpKind::Read, Fr.Node, 1);
         Now += cost().LocalFallback;
         word(Fr, I.Dst) = Mem.word(Addr);
         Fr.Locals->Avail[I.Dst] = Now;
@@ -412,6 +415,9 @@ private:
         traceSpan("read-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
                   {{"to", Addr.Node}, {"addr", Addr.str()}});
+      if (Prof)
+        Prof->record(I.Site, CommOpKind::Read, Fr.Node, Addr.Node, 1,
+                     IssueStart, DoneAt);
       word(Fr, I.Dst) = Mem.word(Addr);
       Fr.Locals->Avail[I.Dst] = DoneAt;
       return StepStatus::Continue;
@@ -497,6 +503,8 @@ private:
         if (Trc)
           traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
                        {{"op", "write-data"}});
+        if (Prof)
+          Prof->recordLocal(I.Site, CommOpKind::Write, Fr.Node, 1);
         Now += cost().LocalFallback;
         Mem.word(Addr) = Val;
         return StepStatus::Continue;
@@ -511,6 +519,9 @@ private:
         traceSpan("write-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
                   {{"to", Addr.Node}, {"addr", Addr.str()}});
+      if (Prof)
+        Prof->record(I.Site, CommOpKind::Write, Fr.Node, Addr.Node, 1,
+                     IssueStart, DoneAt);
       Mem.word(Addr) = Val;
       Fr.WriteSync = std::max(Fr.WriteSync, DoneAt);
       return StepStatus::Continue;
@@ -567,6 +578,8 @@ private:
       if (Trc)
         traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
                      {{"op", "blkmov"}, {"words", I.Words}});
+      if (Prof)
+        Prof->recordLocal(I.Site, CommOpKind::BlkMov, Fr.Node, I.Words);
       Now += cost().LocalFallback + cost().LocalBlkPerWord * I.Words;
       copyWords();
       if (Dir == BlkMovDir::ReadToLocal)
@@ -586,6 +599,9 @@ private:
                  {"addr", Addr.str()},
                  {"words", I.Words},
                  {"dir", Dir == BlkMovDir::ReadToLocal ? "read" : "write"}});
+    if (Prof)
+      Prof->record(I.Site, CommOpKind::BlkMov, Fr.Node, Addr.Node, I.Words,
+                   IssueStart, DoneAt);
     copyWords();
     if (Dir == BlkMovDir::ReadToLocal)
       Fr.Locals->Avail[I.B] = DoneAt;
@@ -629,6 +645,8 @@ private:
         Cell = V;
       }
       if (LocalHit) {
+        if (Prof && !Cfg.SequentialMode)
+          Prof->recordLocal(I.Site, CommOpKind::Atomic, Fr.Node, 0);
         Now += LocalCost;
       } else {
         double IssueStart = Now;
@@ -640,6 +658,9 @@ private:
           traceSpan("atomic", "comm", IssueStart, DoneAt - IssueStart,
                     Fr.Node, TraceTidComm,
                     {{"to", Addr.Node}, {"var", sharedName()}});
+        if (Prof)
+          Prof->record(I.Site, CommOpKind::Atomic, Fr.Node, Addr.Node, 0,
+                       IssueStart, DoneAt);
         Fr.WriteSync = std::max(Fr.WriteSync, DoneAt);
       }
       return StepStatus::Continue;
@@ -652,6 +673,8 @@ private:
         noStorage(Fr, castStmt<AtomicStmt>(*I.Src).Result);
       word(Fr, I.Dst) = Cell;
       if (LocalHit) {
+        if (Prof && !Cfg.SequentialMode)
+          Prof->recordLocal(I.Site, CommOpKind::Atomic, Fr.Node, 0);
         Now += LocalCost;
         Fr.Locals->Avail[I.Dst] = Now;
       } else {
@@ -665,6 +688,9 @@ private:
           traceSpan("atomic", "comm", IssueStart, DoneAt - IssueStart,
                     Fr.Node, TraceTidComm,
                     {{"to", Addr.Node}, {"var", sharedName()}});
+        if (Prof)
+          Prof->record(I.Site, CommOpKind::Atomic, Fr.Node, Addr.Node, 0,
+                       IssueStart, DoneAt);
       }
       return StepStatus::Continue;
     }
@@ -1106,6 +1132,22 @@ private:
       }
       return StepStatus::Continue;
     }
+    case BcOp::FusedEnterRun: {
+      if (!Fuse)
+        fail("fused opcode reached with fusion disabled");
+      // Words consecutive Enter steps: each is a pure PC bump (no clock, no
+      // blocking, no state), so the whole run is one batched advance. When
+      // the budget is smaller, the remaining Enters dispatch plainly (a
+      // shorter fused head or a plain Enter sits at the landing PC).
+      const unsigned Done = std::min(I.Words, Budget);
+      Fr.PC += static_cast<int32_t>(Done);
+      Taken = Done;
+      if (Done > 1) {
+        ++FusedDispatches;
+        FusedSteps += Done;
+      }
+      return StepStatus::Continue;
+    }
     }
     fail("bad opcode");
   }
@@ -1194,6 +1236,7 @@ private:
   MachineConfig Cfg;
   const bool Fuse; ///< Dispatch FusedCode instead of Code (Cfg.Fuse).
   TraceSink *Trc = nullptr;
+  CommProfiler *Prof = nullptr;
   EarthMemory Mem;
   OpCounters Ctr;
   std::vector<double> EUClock;
@@ -1229,6 +1272,9 @@ RunResult BcInterp::run(const std::string &Entry,
   }
   const BytecodeFunction *EntryBF = BM.function(EntryFn);
   assert(EntryBF && "module lowered without its entry function");
+
+  if (Prof)
+    Prof->beginRun(BM.NumSites, Mem.numNodes());
 
   try {
     GlobalSharedAddrs.reserve(BM.SharedGlobals.size());

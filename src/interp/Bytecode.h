@@ -101,6 +101,12 @@ enum class BcOp : uint8_t {
                   ///< back to a slot): one dispatch, Words steps. Carries
                   ///< the head Assign's own payload; the tail insns are
                   ///< read from the unfused positions that follow.
+  FusedEnterRun,  ///< Head of Words (>= 2) consecutive Enter instructions
+                  ///< (nested construct entries, do-while body entries):
+                  ///< one dispatch advancing PC by min(Words, budget)
+                  ///< steps. Enter never blocks, costs no simulated time
+                  ///< and touches no state beyond PC, so the run is pure
+                  ///< control-step batching.
 };
 
 /// Condition-shape marker for conditions that are not pure (Opnd / Unary /
@@ -152,6 +158,10 @@ struct BcInsn {
   uint32_t Words = 0; ///< BlkMov word count / pool element count.
   int32_t Dst = -1;  ///< Destination slot (-1 when none).
   BcOperand X, Y;    ///< Value operands (cond/assign/atomic/return/placement).
+  /// CommSites id of the originating statement (-1 for non-comm opcodes).
+  /// Stamped from the table buildCommSiteTable builds over the module being
+  /// lowered, so profiles keyed by it match the AST walker's row for row.
+  int32_t Site = -1;
   const BytecodeFunction *Callee = nullptr; ///< Resolved callee of a Call.
   const Stmt *Src = nullptr; ///< Originating statement (diagnostics only).
 };
@@ -208,6 +218,9 @@ struct BytecodeModule {
   /// allocates their node-0 cells in exactly this order at run start).
   std::vector<const Var *> SharedGlobals;
   std::unordered_map<const Var *, int32_t> SharedGlobalIndex;
+  /// Number of comm sites in the module's CommSites table at lowering time
+  /// (the BcInsn::Site id space). The engine sizes the profiler with it.
+  uint32_t NumSites = 0;
 
   const BytecodeFunction *function(const Function *Fn) const {
     auto It = ByFn.find(Fn);

@@ -8,6 +8,8 @@
 
 #include "interp/EngineCommon.h"
 #include "interp/Lower.h"
+#include "simple/CommSites.h"
+#include "support/CommProfiler.h"
 #include "support/Trace.h"
 
 #include <cassert>
@@ -96,7 +98,8 @@ enum class StepStatus { Continue, BlockRetry, YieldAt, WaitJoin, FiberDone };
 class Interp {
 public:
   Interp(const Module &M, const MachineConfig &Cfg)
-      : M(M), Cfg(Cfg), Trc(Cfg.Trace), Mem(std::max(1u, Cfg.NumNodes)),
+      : M(M), Cfg(Cfg), Trc(Cfg.Trace), Prof(Cfg.Profiler),
+        Mem(std::max(1u, Cfg.NumNodes)),
         EUClock(Mem.numNodes(), 0.0), SUClock(Mem.numNodes(), 0.0),
         LastFiber(Mem.numNodes(), nullptr) {}
 
@@ -388,6 +391,8 @@ private:
         if (Trc)
           traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
                        {{"op", "read-data"}});
+        if (Prof)
+          Prof->recordLocal(SiteTable.idOf(&A), CommOpKind::Read, Fr.Node, 1);
         Now += cost().LocalFallback;
         Dst.Words[0] = Mem.word(Addr);
         Dst.AvailAt = Now;
@@ -403,6 +408,9 @@ private:
         traceSpan("read-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
                   {{"to", Addr.Node}, {"addr", Addr.str()}});
+      if (Prof)
+        Prof->record(SiteTable.idOf(&A), CommOpKind::Read, Fr.Node, Addr.Node,
+                     1, IssueStart, DoneAt);
       Dst.Words[0] = Mem.word(Addr);
       Dst.AvailAt = DoneAt;
       return StepStatus::Continue;
@@ -473,6 +481,8 @@ private:
         if (Trc)
           traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
                        {{"op", "write-data"}});
+        if (Prof)
+          Prof->recordLocal(SiteTable.idOf(&A), CommOpKind::Write, Fr.Node, 1);
         Now += cost().LocalFallback;
         Mem.word(Addr) = Val;
         return StepStatus::Continue;
@@ -487,6 +497,9 @@ private:
         traceSpan("write-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
                   {{"to", Addr.Node}, {"addr", Addr.str()}});
+      if (Prof)
+        Prof->record(SiteTable.idOf(&A), CommOpKind::Write, Fr.Node, Addr.Node,
+                     1, IssueStart, DoneAt);
       Mem.word(Addr) = Val;
       Fr.WriteSync = std::max(Fr.WriteSync, DoneAt);
       return StepStatus::Continue;
@@ -537,6 +550,9 @@ private:
       if (Trc)
         traceInstant("local-fallback", "comm", Now, Fr.Node, TraceTidEU,
                      {{"op", "blkmov"}, {"words", B.Words}});
+      if (Prof)
+        Prof->recordLocal(SiteTable.idOf(&B), CommOpKind::BlkMov, Fr.Node,
+                          B.Words);
       Now += cost().LocalFallback + cost().LocalBlkPerWord * B.Words;
       copyWords();
       if (B.Dir == BlkMovDir::ReadToLocal)
@@ -556,6 +572,9 @@ private:
                  {"addr", Addr.str()},
                  {"words", B.Words},
                  {"dir", B.Dir == BlkMovDir::ReadToLocal ? "read" : "write"}});
+    if (Prof)
+      Prof->record(SiteTable.idOf(&B), CommOpKind::BlkMov, Fr.Node, Addr.Node,
+                   B.Words, IssueStart, DoneAt);
     copyWords();
     if (B.Dir == BlkMovDir::ReadToLocal)
       Local.AvailAt = DoneAt;
@@ -594,6 +613,9 @@ private:
         Cell = V;
       }
       if (LocalHit) {
+        if (Prof && !Cfg.SequentialMode)
+          Prof->recordLocal(SiteTable.idOf(&A), CommOpKind::Atomic, Fr.Node,
+                            0);
         Now += LocalCost;
       } else {
         double IssueStart = Now;
@@ -605,6 +627,9 @@ private:
           traceSpan("atomic", "comm", IssueStart, DoneAt - IssueStart,
                     Fr.Node, TraceTidComm,
                     {{"to", Addr.Node}, {"var", A.SharedVar->name()}});
+        if (Prof)
+          Prof->record(SiteTable.idOf(&A), CommOpKind::Atomic, Fr.Node,
+                       Addr.Node, 0, IssueStart, DoneAt);
         Fr.WriteSync = std::max(Fr.WriteSync, DoneAt);
       }
       return StepStatus::Continue;
@@ -616,6 +641,9 @@ private:
       VarSlot &Dst = slot(Fr, A.Result);
       Dst.Words[0] = Cell;
       if (LocalHit) {
+        if (Prof && !Cfg.SequentialMode)
+          Prof->recordLocal(SiteTable.idOf(&A), CommOpKind::Atomic, Fr.Node,
+                            0);
         Now += LocalCost;
         Dst.AvailAt = Now;
       } else {
@@ -628,6 +656,9 @@ private:
           traceSpan("atomic", "comm", IssueStart, Dst.AvailAt - IssueStart,
                     Fr.Node, TraceTidComm,
                     {{"to", Addr.Node}, {"var", A.SharedVar->name()}});
+        if (Prof)
+          Prof->record(SiteTable.idOf(&A), CommOpKind::Atomic, Fr.Node,
+                       Addr.Node, 0, IssueStart, Dst.AvailAt);
       }
       return StepStatus::Continue;
     }
@@ -1083,6 +1114,11 @@ private:
   const Module &M;
   MachineConfig Cfg;
   TraceSink *Trc = nullptr;
+  CommProfiler *Prof = nullptr;
+  /// Built lazily at run start, only when profiling: the same pure function
+  /// of the module that lowering uses to stamp BcInsn::Site, so the two
+  /// engines agree on every site id without sharing state.
+  CommSiteTable SiteTable;
   EarthMemory Mem;
   OpCounters Ctr;
   std::vector<double> EUClock;
@@ -1113,6 +1149,11 @@ RunResult Interp::run(const std::string &Entry,
               std::to_string(EntryFn->params().size()) + " arguments, got " +
               std::to_string(Args.size());
     return R;
+  }
+
+  if (Prof) {
+    SiteTable = buildCommSiteTable(M);
+    Prof->beginRun(static_cast<unsigned>(SiteTable.size()), Mem.numNodes());
   }
 
   try {

@@ -35,6 +35,7 @@
 
 #include "interp/Lower.h"
 
+#include "simple/CommSites.h"
 #include "support/ThreadPool.h"
 
 #include <algorithm>
@@ -50,8 +51,9 @@ constexpr uint8_t BadCondRK = BcBadCondRK;
 
 class FunctionLowering {
 public:
-  FunctionLowering(const BytecodeModule &BM, BytecodeFunction &BF)
-      : BM(BM), BF(BF) {}
+  FunctionLowering(const BytecodeModule &BM, BytecodeFunction &BF,
+                   const CommSiteTable &Sites)
+      : BM(BM), BF(BF), Sites(Sites) {}
 
   void run() {
     const SeqStmt &Body = BF.Fn->body();
@@ -220,6 +222,7 @@ private:
         I.B = static_cast<int32_t>(A.L.OffsetWords);
         I.Loc = static_cast<uint8_t>(A.L.Loc);
       }
+      I.Site = Sites.idOf(&S); // -1 unless the assign is a comm site.
       return;
     }
     case StmtKind::Call: {
@@ -254,6 +257,7 @@ private:
       I.A = slotOf(B.Ptr);
       I.B = slotOf(B.LocalStruct);
       I.Words = B.Words;
+      I.Site = Sites.idOf(&S);
       return;
     }
     case StmtKind::Atomic: {
@@ -267,6 +271,7 @@ private:
       }
       I.X = lowerOperand(A.Val);
       I.Dst = slotOf(A.Result);
+      I.Site = Sites.idOf(&S);
       return;
     }
     default:
@@ -435,6 +440,7 @@ private:
 
   const BytecodeModule &BM;
   BytecodeFunction &BF;
+  const CommSiteTable &Sites;
   std::vector<PendingRegion> Pending;
   int32_t RetPC = -1;
 };
@@ -492,6 +498,24 @@ void buildFusedStream(BytecodeFunction &BF) {
       const BcInsn &Target = BF.Code[Head.A];
       if (Target.Op == BcOp::LoopCond && Target.RK != BadCondRK)
         BF.FusedCode[I].Op = BcOp::FusedEndLoop;
+      continue;
+    }
+
+    // Runs of consecutive Enter steps: a nested construct whose first
+    // child is itself a compound, or a do-while's construct-entry +
+    // body-entry pair. Enter never blocks, never advances the simulated
+    // clock and touches nothing but PC, so the run collapses into one
+    // dispatch of Words PC bumps (each still accounted as a step). A jump
+    // into the middle of a run lands on a shorter fused head or a plain
+    // Enter — both execute identically.
+    if (Head.Op == BcOp::Enter) {
+      uint32_t Run = 1;
+      while (I + Run < N && BF.Code[I + Run].Op == BcOp::Enter)
+        ++Run;
+      if (Run >= 2) {
+        BF.FusedCode[I].Op = BcOp::FusedEnterRun;
+        BF.FusedCode[I].Words = Run;
+      }
       continue;
     }
 
@@ -567,15 +591,21 @@ std::shared_ptr<const BytecodeModule> earthcc::lowerModule(const Module &M,
     BM->Funcs.push_back(std::move(BF));
   }
 
+  // Comm-site ids, assigned serially before the (possibly parallel) body
+  // pass: the table is a pure function of the module, read-only below, so
+  // BcInsn::Site is identical at every thread count.
+  CommSiteTable Sites = buildCommSiteTable(M);
+  BM->NumSites = static_cast<uint32_t>(Sites.size());
+
   // Second pass: function bodies. After the frame-layout pass every
   // function is independent (a task reads only the shared ByFn /
-  // SharedGlobalIndex maps, frozen above, and writes only its own
-  // BytecodeFunction), so the bodies can lower concurrently; each result
-  // lands in its pre-allocated Funcs slot, making the output identical at
-  // every thread count.
-  auto LowerOne = [&BM](size_t I) {
+  // SharedGlobalIndex maps and the site table, frozen above, and writes
+  // only its own BytecodeFunction), so the bodies can lower concurrently;
+  // each result lands in its pre-allocated Funcs slot, making the output
+  // identical at every thread count.
+  auto LowerOne = [&BM, &Sites](size_t I) {
     BytecodeFunction &BF = *BM->Funcs[I];
-    FunctionLowering(*BM, BF).run();
+    FunctionLowering(*BM, BF, Sites).run();
     buildFusedStream(BF);
   };
   if (Threads == 0)

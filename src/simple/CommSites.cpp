@@ -1,0 +1,102 @@
+//===- CommSites.cpp - Stable ids for communication sites -----------------===//
+//
+// Part of the earthcc project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "simple/CommSites.h"
+
+namespace earthcc {
+
+const char *commSiteKindName(CommSiteKind K) {
+  switch (K) {
+  case CommSiteKind::Read:
+    return "read";
+  case CommSiteKind::Write:
+    return "write";
+  case CommSiteKind::BlkMov:
+    return "blkmov";
+  case CommSiteKind::Atomic:
+    return "atomic";
+  }
+  return "?";
+}
+
+void CommSiteTable::add(const Function *Fn, const Stmt *S, CommSiteKind Kind,
+                        std::string Desc) {
+  int32_t Id = static_cast<int32_t>(Sites.size());
+  Sites.push_back({Id, Fn, S, S->loc(), Kind, std::move(Desc)});
+  ByStmt.emplace(S, Id);
+}
+
+namespace {
+
+std::string accessStr(const Var *Base, const std::string &FieldName) {
+  std::string Out = Base ? Base->name() : "?";
+  if (!FieldName.empty())
+    Out += "->" + FieldName;
+  else
+    Out = "*" + Out;
+  return Out;
+}
+
+const char *atomicOpStr(AtomicOp Op) {
+  switch (Op) {
+  case AtomicOp::WriteTo:
+    return "writeto";
+  case AtomicOp::AddTo:
+    return "addto";
+  case AtomicOp::ValueOf:
+    return "valueof";
+  }
+  return "?";
+}
+
+} // namespace
+
+CommSiteTable buildCommSiteTable(const Module &M) {
+  CommSiteTable T;
+  for (const auto &FnPtr : M.functions()) {
+    const Function *Fn = FnPtr.get();
+    forEachStmt(Fn->body(), [&](const Stmt &S) {
+      switch (S.kind()) {
+      case StmtKind::Assign: {
+        const auto &A = castStmt<AssignStmt>(S);
+        // The same predicates the engines use to pick the split-phase
+        // path: SIMPLE allows at most one indirection per statement, so a
+        // statement is a read site or a write site, never both.
+        if (A.isRemoteRead()) {
+          const auto *L = dynCast<LoadRV>(A.R.get());
+          T.add(Fn, &S, CommSiteKind::Read,
+                "read " + accessStr(L->Base, L->FieldName));
+        } else if (A.isRemoteWrite()) {
+          T.add(Fn, &S, CommSiteKind::Write,
+                "write " + accessStr(A.L.V, A.L.FieldName));
+        }
+        break;
+      }
+      case StmtKind::BlkMov: {
+        const auto &B = castStmt<BlkMovStmt>(S);
+        std::string Desc =
+            (B.Dir == BlkMovDir::ReadToLocal ? "blkmov read " : "blkmov write ");
+        Desc += (B.Ptr ? B.Ptr->name() : "?") + "[" +
+                std::to_string(B.Words) + "w]";
+        T.add(Fn, &S, CommSiteKind::BlkMov, std::move(Desc));
+        break;
+      }
+      case StmtKind::Atomic: {
+        const auto &A = castStmt<AtomicStmt>(S);
+        T.add(Fn, &S, CommSiteKind::Atomic,
+              std::string("atomic ") + atomicOpStr(A.Op) + " " +
+                  (A.SharedVar ? A.SharedVar->name() : "?"));
+        break;
+      }
+      default:
+        break;
+      }
+    });
+  }
+  return T;
+}
+
+} // namespace earthcc

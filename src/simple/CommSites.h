@@ -1,0 +1,79 @@
+//===- CommSites.h - Stable ids for communication sites ---------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assigns a stable *site id* to every comm-capable statement of a module:
+/// assignments whose RHS is a possibly-remote load, assignments whose LHS is
+/// a possibly-remote store, block moves, and atomic shared-variable
+/// operations — exactly the statements at which the execution engines bump
+/// OpCounters. Ids are assigned by a pure function of the module (functions
+/// in module order, statements pre-order), so any two independently built
+/// tables over the same module agree; that is what makes per-site profiles
+/// recorded by the AST walker and the bytecode engine comparable bit for
+/// bit. The bytecode lowerer stamps the id into each instruction
+/// (BcInsn::Site); the AST walker looks statements up in the table it built
+/// at run start.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SIMPLE_COMMSITES_H
+#define EARTHCC_SIMPLE_COMMSITES_H
+
+#include "simple/Function.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace earthcc {
+
+/// Which communication operation a site performs. A SIMPLE basic statement
+/// contains at most one memory indirection, so the kind is a property of
+/// the site, not of individual executions.
+enum class CommSiteKind : uint8_t { Read, Write, BlkMov, Atomic };
+
+const char *commSiteKindName(CommSiteKind K);
+
+/// One comm-capable statement.
+struct CommSite {
+  int32_t Id = -1;
+  const Function *Fn = nullptr;
+  const Stmt *S = nullptr;
+  SourceLoc Loc;
+  CommSiteKind Kind = CommSiteKind::Read;
+  std::string Desc; ///< Human-readable access, e.g. "read p->sz".
+};
+
+/// The module's sites in id order, plus a statement -> id index.
+class CommSiteTable {
+public:
+  const std::vector<CommSite> &sites() const { return Sites; }
+  size_t size() const { return Sites.size(); }
+  const CommSite &site(size_t Id) const { return Sites[Id]; }
+
+  /// Site id of \p S, or -1 if it is not a comm-capable statement.
+  int32_t idOf(const Stmt *S) const {
+    auto It = ByStmt.find(S);
+    return It == ByStmt.end() ? -1 : It->second;
+  }
+
+  void add(const Function *Fn, const Stmt *S, CommSiteKind Kind,
+           std::string Desc);
+
+private:
+  std::vector<CommSite> Sites;
+  std::unordered_map<const Stmt *, int32_t> ByStmt;
+};
+
+/// Builds the site table for \p M. Deterministic: depends only on the
+/// module's current IR, never on the caller or on prior tables.
+CommSiteTable buildCommSiteTable(const Module &M);
+
+} // namespace earthcc
+
+#endif // EARTHCC_SIMPLE_COMMSITES_H

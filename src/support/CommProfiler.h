@@ -1,0 +1,120 @@
+//===- CommProfiler.h - Per-site communication profiles ---------*- C++ -*-===//
+//
+// Part of the earthcc project: a reproduction of "Communication Optimizations
+// for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Per-site dynamic communication profiles, accumulated in *simulated* time
+/// by both execution engines. A "site" is one comm-capable SIMPLE statement
+/// (remote read, remote write, blkmov, atomic); site ids are assigned by
+/// simple/CommSites.h as a pure function of the module, so profiles recorded
+/// by the AST walker and the bytecode engine are bit-identical row for row.
+///
+/// Like TraceSink, a null CommProfiler pointer on MachineConfig means
+/// profiling is off; every engine hook is guarded by one branch on the
+/// pointer, so the disabled path adds no work to the hot loop.
+///
+/// Latencies are kept in a deterministic fixed-bucket histogram (16 linear
+/// sub-buckets per power of two, ~6% worst-case resolution), so percentile
+/// queries are exact functions of the recorded multiset — no sampling, no
+/// host-dependent state — and memory per site stays bounded no matter how
+/// many messages a run issues.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef EARTHCC_SUPPORT_COMMPROFILER_H
+#define EARTHCC_SUPPORT_COMMPROFILER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace earthcc {
+
+/// The dynamic operation classes the profiler distinguishes. These mirror
+/// the OpCounters fields, specialized to split-phase communication.
+enum class CommOpKind : uint8_t { Read, Write, BlkMov, Atomic };
+
+const char *commOpKindName(CommOpKind K);
+
+/// Accumulated dynamic behavior of one site.
+struct SiteProfile {
+  /// 16 exact buckets below 16 ns, then 16 linear sub-buckets per octave up
+  /// to 2^63: index = 16 * (log2 - 3) + top-4-mantissa-bits.
+  static constexpr unsigned NumBuckets = 16 + 16 * 60;
+
+  uint64_t Msgs = 0;       ///< Remote transactions issued from this site.
+  uint64_t Words = 0;      ///< Words moved by those transactions.
+  uint64_t LocalHits = 0;  ///< Local fallbacks (no remote traffic).
+  double LatSumNs = 0.0;   ///< Sum of issue-start -> complete latencies.
+  uint64_t LatMinNs = 0;   ///< Minimum latency (integer ns; 0 when Msgs==0).
+  uint64_t LatMaxNs = 0;   ///< Maximum latency (integer ns).
+  std::vector<uint64_t> LatHist; ///< Lazily sized to NumBuckets on first use.
+
+  /// Bucket index for a latency of \p Ns nanoseconds.
+  static unsigned bucketOf(uint64_t Ns);
+  /// Inclusive lower bound of bucket \p B, in nanoseconds.
+  static uint64_t bucketLowNs(unsigned B);
+
+  void recordLatency(uint64_t Ns);
+
+  /// Latency at percentile \p P (0 < P <= 100): the lower bound of the
+  /// histogram bucket holding the ceil(P% * Msgs)-th smallest latency.
+  /// Returns 0 when no messages were recorded.
+  uint64_t latencyPercentileNs(double P) const;
+  double latencyMeanNs() const { return Msgs ? LatSumNs / Msgs : 0.0; }
+};
+
+/// Per-site profile table plus a per-node-pair traffic matrix. Reset by
+/// beginRun(); engines call record()/recordLocal() from the same points
+/// where they bump OpCounters, with the same operands, so every derived
+/// number is engine-invariant by construction.
+class CommProfiler {
+public:
+  /// Clears all state and sizes the tables. Engines call this at run start,
+  /// so one profiler instance observes exactly one run at a time.
+  void beginRun(unsigned NumSites, unsigned NumNodes);
+
+  /// Records one remote split-phase transaction: issued from node \p From
+  /// against node \p To, moving \p Words words, issue started at
+  /// \p IssueStartNs and completed at \p DoneNs (simulated clock).
+  void record(int32_t Site, CommOpKind Op, unsigned From, unsigned To,
+              uint64_t Words, double IssueStartNs, double DoneNs);
+
+  /// Records a comm-capable operation that resolved locally (no message).
+  void recordLocal(int32_t Site, CommOpKind Op, unsigned Node,
+                   uint64_t Words);
+
+  unsigned numSites() const { return NumSites; }
+  unsigned numNodes() const { return NumNodes; }
+  const SiteProfile &site(unsigned Id) const { return Sites[Id]; }
+  CommOpKind siteOp(unsigned Id) const { return SiteOps[Id]; }
+
+  uint64_t trafficMsgs(unsigned From, unsigned To) const {
+    return TrafficMsgs[From * NumNodes + To];
+  }
+  uint64_t trafficWords(unsigned From, unsigned To) const {
+    return TrafficWords[From * NumNodes + To];
+  }
+
+  uint64_t totalMsgs() const;
+
+  /// Serializes every recorded number (per-site rows, traffic matrix) as
+  /// JSON. The encoding is a pure function of the recorded data, so equal
+  /// strings <=> equal profiles; the equivalence tests compare this form.
+  std::string json() const;
+
+private:
+  unsigned NumSites = 0;
+  unsigned NumNodes = 0;
+  std::vector<SiteProfile> Sites;
+  std::vector<CommOpKind> SiteOps;
+  std::vector<uint64_t> TrafficMsgs;  ///< NumNodes x NumNodes, row = from.
+  std::vector<uint64_t> TrafficWords; ///< Same shape, in words.
+};
+
+} // namespace earthcc
+
+#endif // EARTHCC_SUPPORT_COMMPROFILER_H

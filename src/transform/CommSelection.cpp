@@ -9,6 +9,7 @@
 #include "analysis/PointsTo.h"
 #include "simple/Verifier.h"
 #include "support/FlatSet.h"
+#include "support/Remark.h"
 
 #include <cassert>
 #include <deque>
@@ -32,9 +33,10 @@ enum class Deref { Yes, No, Transparent };
 
 class Selector {
 public:
-  Selector(Module &M, Function &F, const CommOptions &Opts, Statistics &Stats)
-      : M(M), F(F), Opts(Opts), Stats(Stats), PT(M), SE(M, PT),
-        PR(runPlacementAnalysis(F, SE, Opts.Placement)) {}
+  Selector(Module &M, Function &F, const CommOptions &Opts, Statistics &Stats,
+           RemarkStream *Remarks)
+      : M(M), F(F), Opts(Opts), Stats(Stats), Remarks(Remarks), PT(M),
+        SE(M, PT), PR(runPlacementAnalysis(F, SE, Opts.Placement, Remarks)) {}
 
   void run() {
     // Observability: the sizes of the placement analysis' tuple sets, the
@@ -50,6 +52,21 @@ public:
   }
 
 private:
+  /// Emits one "comm-select" remark at \p Loc (no-op without a stream).
+  void remark(const char *Category, SourceLoc Loc, std::string Message,
+              std::vector<std::pair<std::string, std::string>> Args = {}) {
+    if (!Remarks)
+      return;
+    Remark R;
+    R.Pass = "comm-select";
+    R.Category = Category;
+    R.Function = F.name();
+    R.Loc = Loc;
+    R.Message = std::move(Message);
+    R.Args = std::move(Args);
+    Remarks->emit(std::move(R));
+  }
+
   //===--------------------------------------------------------------------===
   // Write-group planning (latest placement, blocked only).
   //===--------------------------------------------------------------------===
@@ -59,6 +76,7 @@ private:
     unsigned StructWords = 0;
     std::set<unsigned> Offsets;
     std::set<int> CoveredLabels;
+    SourceLoc Loc; ///< First covered store's access location.
     const Stmt *FillBeforeElem = nullptr; ///< Element of the sink sequence.
     const Stmt *SinkAfterElem = nullptr;  ///< Element of the sink sequence.
     Var *Block = nullptr;                 ///< Chosen during the rewrite walk.
@@ -122,6 +140,7 @@ private:
       WriteGroup G;
       G.Base = Base;
       G.StructWords = Words;
+      G.Loc = Group.front()->Loc;
       for (const RCE *T : Group) {
         G.Offsets.insert(T->Off);
         G.CoveredLabels.insert(T->DList.begin(), T->DList.end());
@@ -163,6 +182,15 @@ private:
       for (unsigned Off : G.Offsets)
         SelectedWriteKeys.insert({Base, Off});
       Stats.add("select.write_groups");
+      remark("blocked-write", G.Loc,
+             "sunk " + std::to_string(G.Offsets.size()) + " stores through " +
+                 Base->name() + " into one blkmov write-back of " +
+                 std::to_string(Words) + " words (crossover >= " +
+                 std::to_string(Opts.BlockThresholdWords) + " words)",
+             {{"base", Base->name()},
+              {"stores", std::to_string(G.Offsets.size())},
+              {"struct_words", std::to_string(Words)},
+              {"threshold", std::to_string(Opts.BlockThresholdWords)}});
     }
   }
 
@@ -371,6 +399,10 @@ private:
     if (Var *const *Block = LiveBlock.find(G->Base)) {
       G->Block = *Block; // RemoteFill satisfied by the blocked read.
       Stats.add("select.fill_reused");
+      remark("remote-fill", G->Loc,
+             "RemoteFill for " + G->Base->name() +
+                 " satisfied by an existing blocked read (no extra blkmov)",
+             {{"base", G->Base->name()}, {"action", "reused"}});
       return;
     }
     G->Block = makeBlockVar(G->Base);
@@ -380,13 +412,28 @@ private:
       // no fill read needed (the common fresh-allocation pattern).
       LiveBlock[G->Base] = G->Block;
       Stats.add("select.fill_elided");
+      remark("remote-fill", G->Loc,
+             "RemoteFill for " + G->Base->name() + " elided: all " +
+                 std::to_string(G->StructWords) +
+                 " words stored on every path",
+             {{"base", G->Base->name()},
+              {"action", "elided"},
+              {"struct_words", std::to_string(G->StructWords)}});
       return;
     }
-    Out.push(std::make_unique<BlkMovStmt>(BlkMovDir::ReadToLocal,
-                                          G->Base, G->Block,
-                                          G->StructWords));
+    auto Fill = std::make_unique<BlkMovStmt>(BlkMovDir::ReadToLocal, G->Base,
+                                             G->Block, G->StructWords);
+    Fill->setLoc(G->Loc);
+    Out.push(std::move(Fill));
     LiveBlock[G->Base] = G->Block;
     Stats.add("select.fill_blkmovs");
+    remark("remote-fill", G->Loc,
+           "RemoteFill inserted: blkmov read of " +
+               std::to_string(G->StructWords) + " words of " +
+               G->Base->name() + " before the first covered store",
+           {{"base", G->Base->name()},
+            {"action", "inserted"},
+            {"struct_words", std::to_string(G->StructWords)}});
   }
 
   /// Issues the reads placeable before element \p I of the current
@@ -430,20 +477,42 @@ private:
                                     Words);
       if (Block) {
         Var *B = makeBlockVar(Base);
-        Out.push(std::make_unique<BlkMovStmt>(BlkMovDir::ReadToLocal, Base,
-                                              B, Words));
+        auto Mov = std::make_unique<BlkMovStmt>(BlkMovDir::ReadToLocal, Base,
+                                                B, Words);
+        Mov->setLoc(Group.front()->Loc);
+        Out.push(std::move(Mov));
         LiveBlock[Base] = B;
         Stats.add("select.blocked_reads");
+        remark("blocked-read", Group.front()->Loc,
+               "merged " + std::to_string(Group.size()) + " reads of " +
+                   Base->name() + " into one blkmov of " +
+                   std::to_string(Words) + " words (crossover >= " +
+                   std::to_string(Opts.BlockThresholdWords) + " words)",
+               {{"base", Base->name()},
+                {"fields", std::to_string(Group.size())},
+                {"struct_words", std::to_string(Words)},
+                {"threshold", std::to_string(Opts.BlockThresholdWords)}});
         continue;
       }
       for (const RCE *T : Group) {
         Var *Temp = F.addTemp(T->ValueTy, VarKind::CommTemp);
-        Out.push(std::make_unique<AssignStmt>(
+        auto Rd = std::make_unique<AssignStmt>(
             LValue::makeVar(Temp),
             std::make_unique<LoadRV>(T->Base, T->Off, T->FieldName,
-                                     T->ValueTy, Locality::Remote)));
+                                     T->ValueTy, Locality::Remote));
+        Rd->setLoc(T->Loc);
+        Out.push(std::move(Rd));
         LiveScalar[{T->Base, T->Off}] = {Temp, /*TempIsProgramVar=*/false};
         Stats.add("select.pipelined_reads");
+        remark("pipelined-read", T->Loc,
+               "read " + T->Base->name() + "->" +
+                   (T->FieldName.empty() ? "*" : T->FieldName) +
+                   " hoisted to its earliest placement as a pipelined "
+                   "split-phase read (est. frequency " +
+                   std::to_string(static_cast<long long>(T->Freq)) + ")",
+               {{"base", T->Base->name()},
+                {"field", T->FieldName.empty() ? "*" : T->FieldName},
+                {"freq", std::to_string(static_cast<long long>(T->Freq))}});
       }
     }
   }
@@ -456,14 +525,26 @@ private:
     // Remote reads: substitute a live local copy if one exists.
     if (A.isRemoteRead()) {
       const auto &L = static_cast<const LoadRV &>(*A.R);
+      // Captured before any rewrite: reassigning A.R destroys the LoadRV
+      // that L refers into.
+      const std::string BaseName = L.Base->name();
+      const std::string Field = L.FieldName.empty() ? "*" : L.FieldName;
       if (Var *const *Block = LiveBlock.find(L.Base)) {
         A.R = std::make_unique<FieldReadRV>(*Block, L.OffsetWords,
                                             L.FieldName, L.ValueTy);
         Stats.add("select.rewritten_reads");
+        remark("redundant", S->loc(),
+               "remote read " + BaseName + "->" + Field +
+                   " eliminated: reads the live blocked copy instead",
+               {{"base", BaseName}, {"field", Field}, {"copy", "block"}});
       } else if (const ScalarBinding *SB =
                      LiveScalar.find({L.Base, L.OffsetWords})) {
         A.R = std::make_unique<OpndRV>(Operand::var(SB->Temp));
         Stats.add("select.rewritten_reads");
+        remark("redundant", S->loc(),
+               "remote read " + BaseName + "->" + Field +
+                   " eliminated: reuses the live pipelined copy",
+               {{"base", BaseName}, {"field", Field}, {"copy", "scalar"}});
       } else if (Opts.EnableRedundancyElim && !Opts.EnableReadMotion &&
                  A.L.Kind == LValueKind::Var && A.L.V != L.Base) {
         // Pure redundancy elimination: the loaded-into variable becomes the
@@ -640,9 +721,11 @@ private:
           if (!G->Block)
             continue; // Fill never ran (group degenerated); stores stayed
                       // remote, nothing to write back.
-          Seq.push(std::make_unique<BlkMovStmt>(BlkMovDir::WriteFromLocal,
-                                                G->Base, G->Block,
-                                                G->StructWords));
+          auto WB = std::make_unique<BlkMovStmt>(BlkMovDir::WriteFromLocal,
+                                                 G->Base, G->Block,
+                                                 G->StructWords);
+          WB->setLoc(G->Loc);
+          Seq.push(std::move(WB));
           Stats.add("select.blocked_writes");
         }
       }
@@ -653,6 +736,7 @@ private:
   Function &F;
   const CommOptions &Opts;
   Statistics &Stats;
+  RemarkStream *Remarks = nullptr;
   PointsToAnalysis PT;
   SideEffects SE;
   PlacementResult PR;
@@ -670,18 +754,20 @@ private:
 bool earthcc::optimizeFunctionCommunication(Module &M, Function &F,
                                             const CommOptions &Opts,
                                             Statistics &Stats,
-                                            std::vector<std::string> &Errors) {
+                                            std::vector<std::string> &Errors,
+                                            RemarkStream *Remarks) {
   M.invalidateExecCache(); // The IR is about to change; drop stale bytecode.
   F.relabel();
-  Selector(M, F, Opts, Stats).run();
+  Selector(M, F, Opts, Stats, Remarks).run();
   return verifyFunction(M, F, Errors);
 }
 
 bool earthcc::optimizeModuleCommunication(Module &M, const CommOptions &Opts,
                                           Statistics &Stats,
-                                          std::vector<std::string> &Errors) {
+                                          std::vector<std::string> &Errors,
+                                          RemarkStream *Remarks) {
   bool OK = true;
   for (const auto &F : M.functions())
-    OK &= optimizeFunctionCommunication(M, *F, Opts, Stats, Errors);
+    OK &= optimizeFunctionCommunication(M, *F, Opts, Stats, Errors, Remarks);
   return OK;
 }

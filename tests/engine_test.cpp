@@ -10,8 +10,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/ProfileReport.h"
 #include "interp/Bytecode.h"
 #include "interp/Lower.h"
+#include "support/CommProfiler.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
@@ -20,26 +22,34 @@ using namespace earthcc;
 
 namespace {
 
-/// Runs \p M under \p Engine with a fresh trace sink and returns the result
-/// plus the serialized trace. \p Fuse selects the bytecode engine's
-/// superinstruction stream (ignored by the AST engine).
-std::pair<RunResult, std::string> runWith(Pipeline &P, const Module &M,
-                                          MachineConfig MC, ExecEngine Engine,
-                                          bool Fuse = true) {
+/// One engine run's observable artifacts: the result, the serialized trace,
+/// and the serialized per-site communication profile.
+struct EngineRun {
+  RunResult R;
+  std::string Trace;
+  std::string Profile;
+};
+
+/// Runs \p M under \p Engine with a fresh trace sink and profiler attached.
+/// \p Fuse selects the bytecode engine's superinstruction stream (ignored
+/// by the AST engine).
+EngineRun runWith(Pipeline &P, const Module &M, MachineConfig MC,
+                  ExecEngine Engine, bool Fuse = true) {
   ChromeTraceSink Sink;
+  CommProfiler Prof;
   MC.Engine = Engine;
   MC.Fuse = Fuse;
   MC.Trace = &Sink;
+  MC.Profiler = &Prof;
   RunResult R = P.run(M, MC);
-  return {std::move(R), Sink.json()};
+  return {std::move(R), Sink.json(), Prof.json()};
 }
 
 /// Asserts the two engines' results are indistinguishable.
-void expectIdentical(const std::pair<RunResult, std::string> &Ast,
-                     const std::pair<RunResult, std::string> &Bc,
+void expectIdentical(const EngineRun &Ast, const EngineRun &Bc,
                      const std::string &What) {
-  const RunResult &A = Ast.first;
-  const RunResult &B = Bc.first;
+  const RunResult &A = Ast.R;
+  const RunResult &B = Bc.R;
   ASSERT_EQ(A.OK, B.OK) << What << ": " << A.Error << " / " << B.Error;
   EXPECT_EQ(A.Error, B.Error) << What;
   EXPECT_DOUBLE_EQ(A.TimeNs, B.TimeNs) << What;
@@ -57,7 +67,8 @@ void expectIdentical(const std::pair<RunResult, std::string> &Ast,
   EXPECT_EQ(A.Counters.Spawns, B.Counters.Spawns) << What;
   EXPECT_EQ(A.Counters.CtxSwitches, B.Counters.CtxSwitches) << What;
   EXPECT_EQ(A.WordsPerNode, B.WordsPerNode) << What;
-  EXPECT_EQ(Ast.second, Bc.second) << What << ": traces diverge";
+  EXPECT_EQ(Ast.Trace, Bc.Trace) << What << ": traces diverge";
+  EXPECT_EQ(Ast.Profile, Bc.Profile) << What << ": comm profiles diverge";
 }
 
 class EngineEquivalenceTest : public ::testing::TestWithParam<std::string> {
@@ -91,12 +102,11 @@ protected:
             runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/false);
         expectIdentical(Ast, BcFused, What + "/fuse=on");
         expectIdentical(Ast, BcPlain, What + "/fuse=off");
-        EXPECT_EQ(Ast.first.FusedDispatches, 0u) << What;
-        EXPECT_EQ(BcPlain.first.FusedDispatches, 0u) << What;
-        EXPECT_GE(BcFused.first.FusedSteps,
-                  2 * BcFused.first.FusedDispatches)
+        EXPECT_EQ(Ast.R.FusedDispatches, 0u) << What;
+        EXPECT_EQ(BcPlain.R.FusedDispatches, 0u) << What;
+        EXPECT_GE(BcFused.R.FusedSteps, 2 * BcFused.R.FusedDispatches)
             << What << ": a fused dispatch covers at least two steps";
-        FusedDispatches += BcFused.first.FusedDispatches;
+        FusedDispatches += BcFused.R.FusedDispatches;
       }
     }
     EXPECT_GT(FusedDispatches, 0u)
@@ -143,7 +153,7 @@ TEST_P(EngineEquivalenceTest, QuantumSweep) {
     // A one-step quantum leaves no budget for a multi-step dispatch: every
     // superinstruction must fall back to single-stepping.
     if (Quantum == 1)
-      EXPECT_EQ(Bc.first.FusedDispatches, 0u) << What;
+      EXPECT_EQ(Bc.R.FusedDispatches, 0u) << What;
   }
 }
 
@@ -197,6 +207,7 @@ void expectSameInsn(const BcInsn &A, const BcInsn &B, const std::string &What) {
   EXPECT_EQ(A.Off, B.Off) << What;
   EXPECT_EQ(A.Words, B.Words) << What;
   EXPECT_EQ(A.Dst, B.Dst) << What;
+  EXPECT_EQ(A.Site, B.Site) << What;
   expectSameOperand(A.X, B.X, What + "/X");
   expectSameOperand(A.Y, B.Y, What + "/Y");
   EXPECT_EQ(A.Callee ? A.Callee->Fn : nullptr, B.Callee ? B.Callee->Fn : nullptr)
@@ -226,6 +237,7 @@ TEST(LowerThreadsTest, ParallelLoweringIsDeterministic) {
     std::string Tag = "threads=" + std::to_string(Threads);
     ASSERT_EQ(Serial->Funcs.size(), Par->Funcs.size()) << Tag;
     EXPECT_EQ(Serial->SharedGlobals, Par->SharedGlobals) << Tag;
+    EXPECT_EQ(Serial->NumSites, Par->NumSites) << Tag;
     for (size_t F = 0; F != Serial->Funcs.size(); ++F) {
       const BytecodeFunction &A = *Serial->Funcs[F];
       const BytecodeFunction &B = *Par->Funcs[F];
@@ -271,8 +283,69 @@ TEST(LowerThreadsTest, PipelineRunsIdenticalAtAnyThreadCount) {
   auto A = runWith(PS, *CS.M, MC, ExecEngine::Bytecode);
   auto B = runWith(PP, *CP.M, MC, ExecEngine::Bytecode);
   expectIdentical(A, B, "lower-threads 1 vs 4");
-  EXPECT_EQ(A.first.FusedDispatches, B.first.FusedDispatches);
-  EXPECT_EQ(A.first.FusedSteps, B.first.FusedSteps);
+  EXPECT_EQ(A.R.FusedDispatches, B.R.FusedDispatches);
+  EXPECT_EQ(A.R.FusedSteps, B.R.FusedSteps);
+}
+
+// The profiler contract: the per-site communication profile is a pure
+// function of (module, machine configuration), not of the execution
+// strategy. Engine choice, superinstruction fusion and the lowering thread
+// count must all yield byte-identical serialized profiles.
+TEST(CommProfileTest, BitIdenticalAcrossEngineFuseAndLowerThreads) {
+  const Workload *W = findWorkload("health");
+  ASSERT_NE(W, nullptr);
+  MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
+  std::string Baseline;
+  for (unsigned Threads : {1u, 4u}) {
+    PipelineOptions PO = workloadOptions(RunMode::Optimized);
+    PO.LowerThreads = Threads;
+    Pipeline P(PO);
+    CompileResult CR = P.compile(W->smallSource());
+    ASSERT_TRUE(CR.OK) << CR.Messages;
+    // The optimizer must have explained itself: remarks from both passes.
+    EXPECT_TRUE(CR.Remarks.hasPass("placement")) << "threads=" << Threads;
+    EXPECT_TRUE(CR.Remarks.hasPass("comm-select")) << "threads=" << Threads;
+    for (ExecEngine Engine : {ExecEngine::AST, ExecEngine::Bytecode}) {
+      for (bool Fuse : {true, false}) {
+        if (Engine == ExecEngine::AST && !Fuse)
+          continue; // fusion is a bytecode-only knob
+        std::string What = "threads=" + std::to_string(Threads) +
+                           (Engine == ExecEngine::AST ? "/ast" : "/bc") +
+                           (Fuse ? "/fuse=on" : "/fuse=off");
+        EngineRun Run = runWith(P, *CR.M, MC, Engine, Fuse);
+        ASSERT_TRUE(Run.R.OK) << What << ": " << Run.R.Error;
+        EXPECT_NE(Run.Profile.find("\"sites\""), std::string::npos) << What;
+        if (Baseline.empty())
+          Baseline = Run.Profile;
+        else
+          EXPECT_EQ(Baseline, Run.Profile) << What << ": profile diverges";
+      }
+    }
+  }
+  EXPECT_FALSE(Baseline.empty());
+}
+
+// The rendered report joins static remarks with dynamic per-site numbers:
+// at least one remark category from each pass must land next to an active
+// site's counts.
+TEST(CommProfileTest, ReportJoinsRemarksFromBothPasses) {
+  const Workload *W = findWorkload("health");
+  ASSERT_NE(W, nullptr);
+  Pipeline P(workloadOptions(RunMode::Optimized));
+  CompileResult CR = P.compile(W->smallSource());
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+  CommProfiler Prof;
+  MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
+  MC.Profiler = &Prof;
+  RunResult R = P.run(*CR.M, MC);
+  ASSERT_TRUE(R.OK) << R.Error;
+  EXPECT_GT(Prof.totalMsgs(), 0u);
+  std::string Report = renderProfileReport(*CR.M, Prof, &CR.Remarks);
+  EXPECT_NE(Report.find("placement.hoist-loop"), std::string::npos) << Report;
+  EXPECT_NE(Report.find("comm-select."), std::string::npos) << Report;
+  std::string Json = profileReportJson(*CR.M, Prof, &CR.Remarks);
+  EXPECT_NE(Json.find("\"total_msgs\""), std::string::npos);
+  EXPECT_NE(Json.find("\"remarks\""), std::string::npos);
 }
 
 // Runtime errors must be reported with identical text through both engines.

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "support/CommProfiler.h"
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
@@ -189,4 +190,88 @@ TEST(TablePrinterTest, PadsShortRows) {
 TEST(TablePrinterTest, FormatsDoubles) {
   EXPECT_EQ(TablePrinter::fmt(3.14159, 2), "3.14");
   EXPECT_EQ(TablePrinter::fmt(2.0, 1), "2.0");
+}
+
+//===----------------------------------------------------------------------===//
+// CommProfiler: histogram bucketing, percentile semantics, accumulation.
+//===----------------------------------------------------------------------===//
+
+TEST(CommProfilerTest, BucketBoundsRoundTrip) {
+  // Below 16 ns every latency has its own exact bucket.
+  for (uint64_t Ns = 0; Ns != 16; ++Ns) {
+    unsigned B = SiteProfile::bucketOf(Ns);
+    EXPECT_EQ(SiteProfile::bucketLowNs(B), Ns) << Ns;
+  }
+  // Above: the bucket's lower bound never exceeds the value, and the next
+  // bucket's lower bound is strictly greater (monotone partition).
+  for (uint64_t Ns : {16ull, 17ull, 100ull, 1000ull, 65535ull, 65536ull,
+                      1000000ull, (1ull << 40), ~0ull}) {
+    unsigned B = SiteProfile::bucketOf(Ns);
+    ASSERT_LT(B, SiteProfile::NumBuckets) << Ns;
+    EXPECT_LE(SiteProfile::bucketLowNs(B), Ns) << Ns;
+    if (B + 1 < SiteProfile::NumBuckets)
+      EXPECT_GT(SiteProfile::bucketLowNs(B + 1), SiteProfile::bucketLowNs(B))
+          << Ns;
+  }
+  // ~6% worst-case resolution: 16 sub-buckets per octave.
+  unsigned B1 = SiteProfile::bucketOf(1024);
+  unsigned B2 = SiteProfile::bucketOf(1024 + 1024 / 16);
+  EXPECT_NE(B1, B2);
+}
+
+TEST(CommProfilerTest, PercentileIsBucketLowerBound) {
+  SiteProfile S;
+  // Four exact (<16 ns) latencies: 2, 4, 6, 8.
+  for (uint64_t Ns : {2ull, 4ull, 6ull, 8ull}) {
+    ++S.Msgs; // recordLatency's min-tracking keys off Msgs == 1
+    S.recordLatency(Ns);
+  }
+  EXPECT_EQ(S.LatMinNs, 2u);
+  EXPECT_EQ(S.LatMaxNs, 8u);
+  EXPECT_EQ(S.latencyPercentileNs(25), 2u);  // 1st of 4
+  EXPECT_EQ(S.latencyPercentileNs(50), 4u);  // 2nd of 4
+  EXPECT_EQ(S.latencyPercentileNs(75), 6u);  // 3rd of 4
+  EXPECT_EQ(S.latencyPercentileNs(100), 8u); // 4th of 4
+  // P just above a rank boundary advances to the next element.
+  EXPECT_EQ(S.latencyPercentileNs(51), 6u);
+}
+
+TEST(CommProfilerTest, RecordAccumulatesSitesAndTraffic) {
+  CommProfiler Prof;
+  Prof.beginRun(/*NumSites=*/3, /*NumNodes=*/2);
+  Prof.record(0, CommOpKind::Read, /*From=*/0, /*To=*/1, /*Words=*/1,
+              /*IssueStartNs=*/100.0, /*DoneNs=*/150.0);
+  Prof.record(0, CommOpKind::Read, 0, 1, 1, 200.0, 280.0);
+  Prof.record(2, CommOpKind::BlkMov, 1, 0, 8, 300.0, 400.0);
+  Prof.recordLocal(1, CommOpKind::Write, 0, 1);
+
+  EXPECT_EQ(Prof.site(0).Msgs, 2u);
+  EXPECT_EQ(Prof.site(0).Words, 2u);
+  EXPECT_EQ(Prof.site(0).LatMinNs, 50u);
+  EXPECT_EQ(Prof.site(0).LatMaxNs, 80u);
+  EXPECT_DOUBLE_EQ(Prof.site(0).latencyMeanNs(), 65.0);
+  EXPECT_EQ(Prof.site(1).Msgs, 0u);
+  EXPECT_EQ(Prof.site(1).LocalHits, 1u);
+  EXPECT_EQ(Prof.site(2).Words, 8u);
+  EXPECT_EQ(Prof.siteOp(2), CommOpKind::BlkMov);
+  EXPECT_EQ(Prof.totalMsgs(), 3u);
+  EXPECT_EQ(Prof.trafficMsgs(0, 1), 2u);
+  EXPECT_EQ(Prof.trafficWords(0, 1), 2u);
+  EXPECT_EQ(Prof.trafficWords(1, 0), 8u);
+  EXPECT_EQ(Prof.trafficWords(0, 0), 0u);
+}
+
+TEST(CommProfilerTest, JsonIsPureFunctionOfRecordedData) {
+  CommProfiler A, B;
+  for (CommProfiler *P : {&A, &B}) {
+    P->beginRun(2, 2);
+    P->record(0, CommOpKind::Read, 0, 1, 1, 10.0, 42.0);
+    P->recordLocal(1, CommOpKind::Atomic, 1, 0);
+  }
+  EXPECT_EQ(A.json(), B.json());
+  EXPECT_NE(A.json().find("\"sites\""), std::string::npos);
+  // beginRun resets: a fresh run must not inherit prior counts.
+  A.beginRun(2, 2);
+  EXPECT_EQ(A.totalMsgs(), 0u);
+  EXPECT_EQ(A.site(0).Msgs, 0u);
 }

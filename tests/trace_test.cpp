@@ -132,3 +132,76 @@ TEST(TraceGoldenTest, TraceContainsExpectedEventClasses) {
   EXPECT_GT(Meta, 0u);   // process/thread name metadata
   EXPECT_TRUE(SawNode1); // remote node shows SU activity
 }
+
+//===----------------------------------------------------------------------===//
+// Sink edge cases: hand-built events, no simulator involved. These pin the
+// serialization corners the goldens never reach.
+//===----------------------------------------------------------------------===//
+
+TEST(TraceSinkEdgeTest, ZeroDurationCompleteEvent) {
+  ChromeTraceSink Chrome;
+  CounterTraceSink Counts;
+  TraceEvent E;
+  E.Name = "instant-span";
+  E.Cat = "comm";
+  E.Ph = 'X';
+  E.TsNs = 1234.0;
+  E.DurNs = 0.0;
+  Chrome.event(E);
+  Counts.event(E);
+  // The Chrome form keeps its dur field (0.000 us), so the event stays a
+  // valid complete event instead of degrading to an instant.
+  EXPECT_NE(Chrome.json().find("\"dur\":0.000"), std::string::npos)
+      << Chrome.json();
+  // The counter form counts the occurrence and records a present-but-zero
+  // duration total.
+  EXPECT_EQ(Counts.stats().get("trace.count.instant-span"), 1u);
+  EXPECT_EQ(Counts.stats().get("trace.ns.instant-span"), 0u);
+  EXPECT_EQ(Counts.stats().all().count("trace.ns.instant-span"), 1u);
+}
+
+TEST(TraceSinkEdgeTest, MoreThanFourArgsSerializeInOrder) {
+  ChromeTraceSink Chrome;
+  TraceEvent E;
+  E.Name = "big";
+  E.Cat = "comm";
+  E.Ph = 'i';
+  for (int I = 0; I != 6; ++I)
+    E.Args.emplace_back("k" + std::to_string(I),
+                        static_cast<uint64_t>(I * 10));
+  Chrome.event(E);
+  std::string J = Chrome.json();
+  EXPECT_NE(J.find("\"args\":{\"k0\":0,\"k1\":10,\"k2\":20,\"k3\":30,"
+                   "\"k4\":40,\"k5\":50}"),
+            std::string::npos)
+      << J;
+}
+
+TEST(TraceSinkEdgeTest, JsonEscapingOfNamesAndArgs) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape("a\tb\rc"), "a\\tb\\rc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+
+  ChromeTraceSink Chrome;
+  TraceEvent E;
+  E.Name = "quote\"back\\slash\nnewline";
+  E.Cat = "comm";
+  E.Ph = 'i';
+  E.Args.emplace_back("msg", "say \"hi\"\\\n");
+  Chrome.event(E);
+  std::string J = Chrome.json();
+  EXPECT_NE(J.find("\"name\":\"quote\\\"back\\\\slash\\nnewline\""),
+            std::string::npos)
+      << J;
+  EXPECT_NE(J.find("\"msg\":\"say \\\"hi\\\"\\\\\\n\""), std::string::npos)
+      << J;
+  // No raw control characters may survive inside the serialized document:
+  // every byte below 0x20 other than the record-separating newlines must
+  // have been escaped.
+  for (size_t I = 0; I != J.size(); ++I)
+    if (static_cast<unsigned char>(J[I]) < 0x20)
+      EXPECT_EQ(J[I], '\n') << "unescaped control byte at offset " << I;
+}
