@@ -20,17 +20,22 @@
 #include "driver/Pipeline.h"
 #include "driver/ProfileReport.h"
 #include "interp/Lower.h"
+#include "service/CompileService.h"
 #include "support/CommProfiler.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
 #include "workloads/Workloads.h"
 
+#include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 using namespace earthcc;
 
@@ -171,6 +176,62 @@ double lowerNs(const Module &M, unsigned Threads, int Iters) {
     lowerModule(M, Threads);
   auto T1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double, std::nano>(T1 - T0).count() / Iters;
+}
+
+/// One measured phase of the service sweep: closed-loop clients, each
+/// submitting its next request only after the previous response arrived.
+struct ServicePhase {
+  double MinNs = 0, MedNs = 0, AvgNs = 0, MaxNs = 0;
+  double CompilesPerSec = 0; ///< Compile *executions* retired per second.
+  double SimsPerSec = 0;     ///< Responses carrying a sim result per second.
+  bool OK = true;
+};
+
+/// Drives \p Reqs through \p Svc from \p Clients closed-loop client
+/// threads and reports client-observed latency plus throughput.
+ServicePhase servicePhase(CompileService &Svc,
+                          const std::vector<CompileRequest> &Reqs,
+                          const RunRequest &RR, unsigned Clients) {
+  ServicePhase Out;
+  std::vector<double> Lat(Reqs.size(), 0.0);
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> AllOK{true};
+  ServiceStats Before = Svc.stats();
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  for (unsigned C = 0; C != Clients; ++C)
+    Threads.emplace_back([&] {
+      for (size_t I = Next.fetch_add(1); I < Lat.size();
+           I = Next.fetch_add(1)) {
+        auto S = std::chrono::steady_clock::now();
+        RunResponse R = Svc.submitRun(Reqs[I], RR).get();
+        auto E = std::chrono::steady_clock::now();
+        Lat[I] = std::chrono::duration<double, std::nano>(E - S).count();
+        if (!R.OK)
+          AllOK = false;
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  auto T1 = std::chrono::steady_clock::now();
+  double WallSec = std::chrono::duration<double>(T1 - T0).count();
+  ServiceStats After = Svc.stats();
+
+  std::vector<double> Sorted = Lat;
+  std::sort(Sorted.begin(), Sorted.end());
+  Out.MinNs = Sorted.front();
+  Out.MaxNs = Sorted.back();
+  Out.MedNs = Sorted[Sorted.size() / 2];
+  for (double L : Lat)
+    Out.AvgNs += L;
+  Out.AvgNs /= Lat.size();
+  if (WallSec > 0) {
+    Out.CompilesPerSec =
+        (After.CompileExecutions - Before.CompileExecutions) / WallSec;
+    Out.SimsPerSec = Lat.size() / WallSec;
+  }
+  Out.OK = AllOK;
+  return Out;
 }
 
 /// Pass wall times (ns, health/optimized) captured on the reference bench
@@ -327,6 +388,60 @@ int main(int argc, char **argv) {
   for (const StageReport &SR : SimP.stages())
     std::printf("  %-12s %10.1f us\n", SR.Name.c_str(), SR.WallNs / 1e3);
 
+  // Service request sweep: the CompileService under closed-loop load at
+  // 1/4/8 client threads. The cold phase submits distinct requests (every
+  // one a cache miss: a full compile + simulate), then one warmup request
+  // installs the warm key, and the warm phase replays that identical
+  // request — the content-addressed cache must serve it without executing
+  // anything, so warm throughput bounds the dispatch + lookup overhead.
+  const int SweepReqs = 16;
+  const std::string SvcSrc = findWorkload("power")->Source;
+  struct SweepRow {
+    unsigned Clients;
+    ServicePhase Cold, Warm;
+  };
+  std::vector<SweepRow> Sweep;
+  std::printf("\nCompileService request sweep (power, 4 nodes, %d requests "
+              "per phase,\nclosed-loop clients; cold = distinct sources, "
+              "warm = one cached request):\n",
+              SweepReqs);
+  TablePrinter SvcT({"clients", "cold med (ms)", "cold req/s",
+                     "warm med (us)", "warm req/s", "warm speedup"});
+  for (unsigned Clients : {1u, 4u, 8u}) {
+    ServiceConfig SC;
+    SC.Workers = Clients;
+    CompileService Svc(SC);
+    RunRequest RR;
+    RR.Nodes = 4;
+
+    std::vector<CompileRequest> Cold;
+    for (int I = 0; I != SweepReqs; ++I)
+      Cold.push_back(CompileRequest::optimized(
+          SvcSrc + "\n/* cold " + std::to_string(Clients) + "." +
+          std::to_string(I) + " */"));
+    ServicePhase ColdPhase = servicePhase(Svc, Cold, RR, Clients);
+
+    CompileRequest WarmReq = CompileRequest::optimized(SvcSrc);
+    Svc.submitRun(WarmReq, RR).get(); // warmup: installs the warm key
+    std::vector<CompileRequest> Warm(SweepReqs, WarmReq);
+    ServicePhase WarmPhase = servicePhase(Svc, Warm, RR, Clients);
+
+    if (!ColdPhase.OK || !WarmPhase.OK)
+      std::fprintf(stderr, "service sweep: request failed at %u clients\n",
+                   Clients);
+    double Speedup = ColdPhase.SimsPerSec > 0
+                         ? WarmPhase.SimsPerSec / ColdPhase.SimsPerSec
+                         : 0.0;
+    SvcT.addRow({std::to_string(Clients),
+                 TablePrinter::fmt(ColdPhase.MedNs / 1e6, 2),
+                 TablePrinter::fmt(ColdPhase.SimsPerSec, 1),
+                 TablePrinter::fmt(WarmPhase.MedNs / 1e3, 1),
+                 TablePrinter::fmt(WarmPhase.SimsPerSec, 1),
+                 TablePrinter::fmt(Speedup, 1) + "x"});
+    Sweep.push_back({Clients, ColdPhase, WarmPhase});
+  }
+  SvcT.print(std::cout);
+
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
     if (!Out) {
@@ -400,6 +515,36 @@ int main(int argc, char **argv) {
     // same stages, same machine class.
     Out << "  \"pass_ns_before_flatsets\": " << kPassNsBeforeFlatSets
         << ",\n";
+    // The service sweep: per client count, client-observed latency and
+    // throughput for cold (every request a distinct compile+simulate) and
+    // warm (one cached request replayed) phases. sims_per_sec counts
+    // responses delivering a simulation result; compiles_per_sec counts
+    // compile *executions* retired, so a fully warm phase reads 0 there by
+    // construction.
+    Out << "  \"service\": {\"workload\": \"power\", \"nodes\": 4, "
+        << "\"requests_per_phase\": " << SweepReqs << ", \"sweep\": [";
+    for (size_t I = 0; I != Sweep.size(); ++I) {
+      const SweepRow &Row = Sweep[I];
+      auto Phase = [&](const char *Name, const ServicePhase &Ph) {
+        std::snprintf(Buf, sizeof(Buf),
+                      "\"%s\": {\"min_ns\": %.0f, \"med_ns\": %.0f, "
+                      "\"avg_ns\": %.0f, \"max_ns\": %.0f, "
+                      "\"compiles_per_sec\": %.1f, \"sims_per_sec\": %.1f}",
+                      Name, Ph.MinNs, Ph.MedNs, Ph.AvgNs, Ph.MaxNs,
+                      Ph.CompilesPerSec, Ph.SimsPerSec);
+        Out << Buf;
+      };
+      Out << (I ? ", " : "") << "{\"clients\": " << Row.Clients << ", ";
+      Phase("cold", Row.Cold);
+      Out << ", ";
+      Phase("warm", Row.Warm);
+      std::snprintf(Buf, sizeof(Buf), ", \"warm_speedup\": %.1f}",
+                    Row.Cold.SimsPerSec > 0
+                        ? Row.Warm.SimsPerSec / Row.Cold.SimsPerSec
+                        : 0.0);
+      Out << Buf;
+    }
+    Out << "]},\n";
     Out << "  \"counters\": " << Counters.stats().json() << "\n}\n";
     std::printf("\nwrote counter report to %s\n", JsonPath.c_str());
   }

@@ -6,37 +6,42 @@
 // machine:
 //
 //   earthcc [options] program.ec
+//   earthcc --serve               # JSON request server on stdin/stdout
 //
-//   --nodes N           machine size (default 4)
-//   --engine E          execution engine: bytecode (default) or ast
-//   --fuse on|off       superinstruction fusion in the bytecode engine
-//                       (default on; simulated results are identical
-//                       either way — this is a host-speed knob)
-//   --lower-threads N   worker threads for bytecode lowering (default 1;
-//                       0 = all hardware threads; output is identical)
-//   --no-opt            disable the communication optimization
-//   --seq               sequential-C baseline (1 node, no EARTH operations)
+// Every knob that shapes the compile or the simulated run comes from the
+// declarative request-option table (driver/Request.h): each table entry is
+// one `--name value` flag here, one `"name": value` field in a --serve
+// request, and (where defined) one environment variable — all applied
+// through the same setter, so the surfaces cannot drift. Run `earthcc
+// --help` for the generated list.
+//
+// Flags owned by the CLI itself (output selection, not request content):
+//
+//   --serve             line-oriented JSON protocol on stdin/stdout; every
+//                       request is served by the in-process CompileService
+//                       (content-addressed artifact cache, single-flight
+//                       dedup, worker pool)
+//   --workers N         service worker threads for --serve (0 = all cores)
+//   --cache-mb N        service artifact-cache budget for --serve, in MiB
 //   --dump-ir           print the SIMPLE program before execution
 //   --dump-after-pass   print the SIMPLE program after every pipeline stage
+//   --emit-threaded     print the generated Threaded-C program
 //   --stats             print optimizer statistics and dynamic counters
 //   --trace FILE        write a Chrome trace (chrome://tracing, Perfetto)
 //   --profile[=json]    per-site communication profile: a table joining each
 //                       comm site's optimizer remarks with its dynamic
 //                       message counts / words / latency percentiles
-//                       (=json emits the same join as one JSON object)
 //   --remarks           print the optimizer's structured remarks
 //   --workload NAME     run an embedded Olden workload (power, perimeter,
 //                       tsp, health, voronoi) instead of a source file
-//   --entry NAME        entry function (default main)
-//   --threshold W       blocking threshold in words (default 3)
 //
 // Sample programs live in examples/programs/.
 //
 //===----------------------------------------------------------------------===//
 
-#include "codegen/ThreadedC.h"
 #include "driver/Pipeline.h"
 #include "driver/ProfileReport.h"
+#include "service/Serve.h"
 #include "simple/Printer.h"
 #include "support/CommProfiler.h"
 #include "support/Trace.h"
@@ -52,126 +57,156 @@
 using namespace earthcc;
 
 static void usage(const char *Argv0) {
+  std::fprintf(stderr, "usage: %s [options] program.ec\n", Argv0);
+  std::fprintf(stderr, "       %s [options] --workload NAME\n", Argv0);
+  std::fprintf(stderr, "       %s [options] --serve\n\n", Argv0);
+  std::fprintf(stderr, "request options (CLI flag = --serve JSON field):\n");
+  for (const RequestOption &O : requestOptions()) {
+    std::string Flag = std::string("--") + O.Name;
+    if (O.Value)
+      Flag += std::string(" ") + O.Value;
+    std::fprintf(stderr, "  %-22s %s%s%s%s\n", Flag.c_str(), O.Help,
+                 O.Env ? " [env " : "", O.Env ? O.Env : "", O.Env ? "]" : "");
+  }
   std::fprintf(stderr,
-               "usage: %s [--nodes N] [--engine ast|bytecode] "
-               "[--fuse on|off] [--lower-threads N] [--no-opt] "
-               "[--seq] [--locality] [--dump-ir] "
-               "[--dump-after-pass] [--emit-threaded] [--stats] "
-               "[--trace FILE] [--profile[=json]] [--remarks] "
-               "[--workload NAME] [--entry NAME] [--threshold W] "
-               "[program.ec]\n",
-               Argv0);
+               "\ndriver options:\n"
+               "  --serve                serve JSON requests on stdin/stdout\n"
+               "  --workers N            --serve worker threads (0 = cores)\n"
+               "  --cache-mb N           --serve artifact cache budget (MiB)\n"
+               "  --workload NAME        embedded Olden benchmark\n"
+               "  --dump-ir              print SIMPLE before execution\n"
+               "  --dump-after-pass      print SIMPLE after each stage\n"
+               "  --emit-threaded        print the generated Threaded-C\n"
+               "  --stats                optimizer + dynamic statistics\n"
+               "  --trace FILE           write a Chrome trace\n"
+               "  --profile[=json]       per-site communication profile\n"
+               "  --remarks              print optimizer remarks\n");
+}
+
+static const RequestOption *findOption(const std::string &Name) {
+  for (const RequestOption &O : requestOptions())
+    if (Name == O.Name)
+      return &O;
+  return nullptr;
 }
 
 int main(int argc, char **argv) {
-  unsigned Nodes = 4;
-  bool Optimize = true;
-  bool Locality = false;
-  bool Sequential = false;
-  bool DumpIR = false;
-  bool DumpAfterPass = false;
-  bool EmitThreaded = false;
-  bool Stats = false;
-  std::string Entry = "main";
-  std::string Path;
-  std::string WorkloadName;
-  bool Profile = false;
-  bool ProfileJson = false;
+  CompileRequest CReq;
+  RunRequest RReq;
+  std::string Err;
+  if (!applyRequestEnv(CReq, RReq, Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 2;
+  }
+
+  bool Serve = false;
+  unsigned Workers = 0;
+  size_t CacheMB = 256;
+  bool DumpIR = false, DumpAfterPass = false, EmitThreaded = false;
+  bool Stats = false, Profile = false, ProfileJson = false;
   bool PrintRemarks = false;
-  std::string TracePath;
-  unsigned Threshold = 3;
-  ExecEngine Engine = ExecEngine::Bytecode;
-  bool Fuse = defaultFuseEnabled();
-  unsigned LowerThreads = 1;
+  std::string TracePath, Path, WorkloadName;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    // The new knobs accept --flag=value as well as --flag value.
-    std::string Inline;
-    if (Arg.rfind("--fuse=", 0) == 0 || Arg.rfind("--lower-threads=", 0) == 0) {
-      size_t Eq = Arg.find('=');
-      Inline = Arg.substr(Eq + 1);
-      Arg = Arg.substr(0, Eq);
+    if (Arg == "--help" || Arg == "-h") {
+      usage(argv[0]);
+      return 0;
     }
-    auto Value = [&](const char *&Out) {
-      if (!Inline.empty()) {
-        Out = Inline.c_str();
-        return true;
+    if (Arg.size() < 2 || Arg[0] != '-' || Arg[1] != '-') {
+      if (!Arg.empty() && Arg[0] == '-') {
+        usage(argv[0]);
+        return 2;
       }
+      Path = Arg;
+      continue;
+    }
+    std::string Name = Arg.substr(2);
+    std::string Value;
+    bool HasValue = false;
+    if (size_t Eq = Name.find('='); Eq != std::string::npos) {
+      Value = Name.substr(Eq + 1);
+      Name = Name.substr(0, Eq);
+      HasValue = true;
+    }
+    auto NeedValue = [&]() {
+      if (HasValue)
+        return true;
       if (I + 1 < argc) {
-        Out = argv[++I];
+        Value = argv[++I];
         return true;
       }
+      std::fprintf(stderr, "error: --%s requires a value\n", Name.c_str());
       return false;
     };
-    const char *V = nullptr;
-    if (Arg == "--fuse" && Value(V)) {
-      std::string F = V;
-      if (F == "on") {
-        Fuse = true;
-      } else if (F == "off") {
-        Fuse = false;
-      } else {
-        std::fprintf(stderr, "error: --fuse expects on|off, got '%s'\n",
-                     F.c_str());
+
+    // Driver-local flags (output selection; not request content).
+    if (Name == "serve") {
+      Serve = true;
+    } else if (Name == "workers") {
+      if (!NeedValue())
         return 2;
-      }
-    } else if (Arg == "--lower-threads" && Value(V)) {
-      LowerThreads = static_cast<unsigned>(std::atoi(V));
-    } else if (Arg == "--nodes" && I + 1 < argc) {
-      Nodes = static_cast<unsigned>(std::atoi(argv[++I]));
-    } else if (Arg == "--engine" && I + 1 < argc) {
-      std::string E = argv[++I];
-      if (E == "ast") {
-        Engine = ExecEngine::AST;
-      } else if (E == "bytecode") {
-        Engine = ExecEngine::Bytecode;
-      } else {
-        std::fprintf(stderr, "error: unknown engine '%s' (ast|bytecode)\n",
-                     E.c_str());
+      Workers = static_cast<unsigned>(std::atoi(Value.c_str()));
+    } else if (Name == "cache-mb") {
+      if (!NeedValue())
         return 2;
-      }
-    } else if (Arg == "--no-opt") {
-      Optimize = false;
-    } else if (Arg == "--locality") {
-      Locality = true;
-    } else if (Arg == "--seq") {
-      Sequential = true;
-    } else if (Arg == "--dump-ir") {
+      CacheMB = static_cast<size_t>(std::atoll(Value.c_str()));
+    } else if (Name == "dump-ir") {
       DumpIR = true;
-    } else if (Arg == "--dump-after-pass") {
+    } else if (Name == "dump-after-pass") {
       DumpAfterPass = true;
-    } else if (Arg == "--emit-threaded") {
+    } else if (Name == "emit-threaded") {
       EmitThreaded = true;
-    } else if (Arg == "--stats") {
+    } else if (Name == "stats") {
       Stats = true;
-    } else if (Arg == "--profile") {
+    } else if (Name == "profile") {
       Profile = true;
-    } else if (Arg == "--profile=json") {
-      Profile = ProfileJson = true;
-    } else if (Arg == "--remarks") {
+      ProfileJson = (Value == "json");
+    } else if (Name == "remarks") {
       PrintRemarks = true;
-    } else if (Arg == "--workload" && I + 1 < argc) {
-      WorkloadName = argv[++I];
-    } else if (Arg == "--trace" && I + 1 < argc) {
-      TracePath = argv[++I];
-    } else if (Arg == "--entry" && I + 1 < argc) {
-      Entry = argv[++I];
-    } else if (Arg == "--threshold" && I + 1 < argc) {
-      Threshold = static_cast<unsigned>(std::atoi(argv[++I]));
-    } else if (!Arg.empty() && Arg[0] == '-') {
+    } else if (Name == "trace") {
+      if (!NeedValue())
+        return 2;
+      TracePath = Value;
+    } else if (Name == "workload") {
+      if (!NeedValue())
+        return 2;
+      WorkloadName = Value;
+    } else if (const RequestOption *Opt = findOption(Name)) {
+      // A request knob: valued options consume the next argument; boolean
+      // knobs apply "on" when bare.
+      if (Opt->Value && !NeedValue())
+        return 2;
+      if (!applyRequestOption(CReq, RReq, Name, Value, Err)) {
+        std::fprintf(stderr, "error: %s\n", Err.c_str());
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr, "error: unknown option '--%s'\n", Name.c_str());
       usage(argv[0]);
       return 2;
-    } else {
-      Path = Arg;
     }
   }
-  if ((Path.empty() == WorkloadName.empty()) || Nodes == 0) {
+
+  if (Serve) {
+    if (!Path.empty() || !WorkloadName.empty()) {
+      std::fprintf(stderr, "error: --serve takes no program argument\n");
+      return 2;
+    }
+    ServeOptions SO;
+    SO.Service.Workers = Workers;
+    SO.Service.CacheBudgetBytes = CacheMB << 20;
+    SO.BaseCompile = CReq; // process-wide defaults under each request
+    SO.BaseRun = RReq;
+    runServeLoop(std::cin, std::cout, SO);
+    return 0;
+  }
+
+  if ((Path.empty() == WorkloadName.empty()) || RReq.Nodes == 0) {
     usage(argv[0]);
     return 2;
   }
 
-  std::string Source;
   if (!WorkloadName.empty()) {
     const Workload *W = findWorkload(WorkloadName);
     if (!W) {
@@ -183,7 +218,7 @@ int main(int argc, char **argv) {
       std::fprintf(stderr, ")\n");
       return 2;
     }
-    Source = W->Source;
+    CReq.Source = W->Source;
     Path = "workload:" + WorkloadName;
   } else {
     std::ifstream In(Path);
@@ -193,16 +228,10 @@ int main(int argc, char **argv) {
     }
     std::ostringstream Buf;
     Buf << In.rdbuf();
-    Source = Buf.str();
+    CReq.Source = Buf.str();
   }
 
-  PipelineOptions PO;
-  PO.Optimize = Optimize && !Sequential;
-  PO.InferLocality = Locality && !Sequential;
-  PO.BlockThresholdWords = Threshold;
-  PO.LowerThreads = LowerThreads;
-
-  Pipeline P(PO);
+  Pipeline P;
   ChromeTraceSink TraceSink;
   if (!TracePath.empty())
     P.setTraceSink(&TraceSink); // attached before compile: pass events too
@@ -210,7 +239,7 @@ int main(int argc, char **argv) {
   if (DumpAfterPass)
     P.addObserver(&Dumper);
 
-  CompileResult CR = P.compile(Source);
+  CompileResult CR = P.compile(CReq);
   if (!CR.OK) {
     std::fprintf(stderr, "%s", CR.Messages.c_str());
     return 1;
@@ -223,15 +252,10 @@ int main(int argc, char **argv) {
   if (PrintRemarks)
     std::printf("%s", CR.Remarks.str().c_str());
 
-  MachineConfig MC;
-  MC.NumNodes = Sequential ? 1 : Nodes;
-  MC.SequentialMode = Sequential;
-  MC.Engine = Engine;
-  MC.Fuse = Fuse;
   CommProfiler Prof;
   if (Profile)
-    MC.Profiler = &Prof;
-  RunResult R = P.run(CR, MC, Entry);
+    RReq.Profiler = &Prof;
+  RunResult R = P.run(CR, RReq);
   for (const std::string &Line : R.Output)
     std::printf("%s\n", Line.c_str());
   if (!R.OK) {
@@ -259,9 +283,9 @@ int main(int argc, char **argv) {
                  TraceSink.events().size(), TracePath.c_str());
   }
 
-  std::fprintf(stderr, "[%s: %.3f simulated ms on %u node%s]\n",
-               Path.c_str(), R.TimeNs / 1e6, MC.NumNodes,
-               MC.NumNodes == 1 ? "" : "s");
+  unsigned EffNodes = RReq.Sequential ? 1 : RReq.Nodes;
+  std::fprintf(stderr, "[%s: %.3f simulated ms on %u node%s]\n", Path.c_str(),
+               R.TimeNs / 1e6, EffNodes, EffNodes == 1 ? "" : "s");
   if (Stats) {
     std::fprintf(stderr,
                  "[ops: read=%llu write=%llu blkmov=%llu atomic=%llu "

@@ -1,4 +1,4 @@
-//===- Driver.cpp - Legacy wrappers over the Pipeline API ------------------===//
+//===- Driver.cpp - Deprecated end-to-end compilation shim -----------------===//
 //
 // Part of the earthcc project.
 //
@@ -6,21 +6,13 @@
 
 #include "driver/Driver.h"
 
-#include "driver/Pipeline.h"
-
 using namespace earthcc;
-
-CompileResult earthcc::compileEarthC(const std::string &Source,
-                                     const CompileOptions &Opts) {
-  Pipeline P{PipelineOptions(Opts)};
-  return P.compile(Source);
-}
 
 RunResult earthcc::compileAndRun(const std::string &Source,
                                  const MachineConfig &MC,
-                                 const CompileOptions &Opts,
+                                 const PipelineOptions &Opts,
                                  const std::string &Entry,
                                  const std::vector<RtValue> &Args) {
-  Pipeline P{PipelineOptions(Opts)};
+  Pipeline P(Opts);
   return P.compileAndRun(Source, MC, Entry, Args);
 }

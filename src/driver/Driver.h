@@ -1,4 +1,4 @@
-//===- Driver.h - End-to-end EARTH-C compilation ----------------*- C++ -*-===//
+//===- Driver.h - Deprecated end-to-end compilation shim --------*- C++ -*-===//
 //
 // Part of the earthcc project: a reproduction of "Communication Optimizations
 // for Parallel C Programs" (Zhu & Hendren, PLDI 1998).
@@ -6,63 +6,42 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The legacy driver surface: EARTH-C source -> lex/parse -> Simplify
-/// (SIMPLE three-address form) -> [communication optimization] -> verified
-/// Module, plus a convenience wrapper that also executes the result on the
-/// simulated EARTH-MANNA machine. The two standard configurations mirror
-/// the paper's "simple" (unoptimized) and "optimized" program versions.
+/// DEPRECATED. The PR-1-era free-function driver surface is retired: every
+/// in-repo caller now goes through the Pipeline object (driver/Pipeline.h)
+/// or the request API (driver/Request.h), and `compileEarthC` plus the
+/// `CompileOptions` struct are gone. One shim remains for out-of-tree
+/// callers:
 ///
-/// New code should use the Pipeline object in driver/Pipeline.h — the
-/// functions here are thin wrappers kept so existing call sites compile,
-/// and CompileOptions converts implicitly to the merged PipelineOptions.
+///   compileAndRun(Source, MC) — compile + run in one step.
+///
+/// It forwards to Pipeline::compileAndRun unchanged. New code should write:
+///
+///   Pipeline P(PipelineOptions::optimized());
+///   RunResult R = P.compileAndRun(Source, MC);
+///
+/// or, preferably, build a CompileRequest/RunRequest pair and use
+/// P.compile(Req) / P.run(CR, RReq) — that form is hashable and is what
+/// the CompileService caches by. This header will be removed once no
+/// known caller includes it.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EARTHCC_DRIVER_DRIVER_H
 #define EARTHCC_DRIVER_DRIVER_H
 
-#include "interp/Interp.h"
-#include "simple/Function.h"
-#include "support/Remark.h"
-#include "support/Statistics.h"
-#include "transform/CommSelection.h"
+#include "driver/Pipeline.h"
 
-#include <memory>
 #include <string>
+#include <vector>
 
 namespace earthcc {
 
-/// Pipeline configuration.
-struct CompileOptions {
-  bool Optimize = true; ///< Run the communication optimization (Phase II).
-  /// Run locality inference first (downgrades pseudo-remote accesses whose
-  /// functions are always invoked at the data's owner). Off by default to
-  /// match the paper's "simple vs optimized" experiment, where locality
-  /// handling is orthogonal prior work.
-  bool InferLocality = false;
-  CommOptions Comm;     ///< Policy for the optimization when enabled.
-};
-
-/// Outcome of a compilation.
-struct CompileResult {
-  bool OK = false;
-  std::unique_ptr<Module> M;
-  Statistics Stats;     ///< Pass counters (select.* keys).
-  std::string Messages; ///< Diagnostics / verifier errors when !OK.
-  /// Structured optimization remarks from the placement analysis and the
-  /// communication-selection transform, in emission order (a stage product
-  /// of the "comm-select" stage; empty when optimization is off).
-  RemarkStream Remarks;
-};
-
-/// Compiles EARTH-C source text into a verified SIMPLE module.
-CompileResult compileEarthC(const std::string &Source,
-                            const CompileOptions &Opts = {});
-
-/// Compiles and runs in one step. On compile failure the RunResult carries
-/// the diagnostics in its Error field.
+/// DEPRECATED: compiles and runs in one step via a throwaway Pipeline. On
+/// compile failure the RunResult carries the diagnostics in its Error
+/// field. Prefer Pipeline::compileAndRun (or the request API) — this shim
+/// exists only so pre-Pipeline out-of-tree code keeps compiling.
 RunResult compileAndRun(const std::string &Source, const MachineConfig &MC,
-                        const CompileOptions &Opts = {},
+                        const PipelineOptions &Opts = {},
                         const std::string &Entry = "main",
                         const std::vector<RtValue> &Args = {});
 

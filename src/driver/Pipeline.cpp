@@ -244,6 +244,24 @@ RunResult Pipeline::run(const Module &M, const MachineConfig &MC,
   return R;
 }
 
+CompileResult Pipeline::compile(const CompileRequest &Req) {
+  Opts = PipelineOptions(Req);
+  return compile(Req.Source);
+}
+
+RunResult Pipeline::run(const Module &M, const RunRequest &Req) {
+  return run(M, Req.machine(), Req.Entry, Req.Args);
+}
+
+RunResult Pipeline::run(const CompileResult &CR, const RunRequest &Req) {
+  if (!CR.OK) {
+    RunResult R;
+    R.Error = CR.Messages;
+    return R;
+  }
+  return run(*CR.M, Req);
+}
+
 RunResult Pipeline::run(const CompileResult &CR, const MachineConfig &MC,
                         const std::string &Entry,
                         const std::vector<RtValue> &Args) {

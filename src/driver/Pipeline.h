@@ -29,18 +29,28 @@
 ///    results. IRDumpObserver is the canonical example — it prints the
 ///    SIMPLE module after every stage ("dump IR after pass").
 ///
-/// The legacy free functions (compileEarthC, compileAndRun) and the
-/// CompileOptions struct remain as thin wrappers in Driver.h.
+/// The preferred way to describe work is the request API in
+/// driver/Request.h: an immutable, hashable CompileRequest/RunRequest pair
+/// with a canonical serialization (the CompileService's cache key).
+/// compile() and run() accept requests directly; the PipelineOptions /
+/// MachineConfig overloads remain for callers that wire knobs by hand.
+/// The last legacy free function (compileAndRun) lives in Driver.h as a
+/// documented deprecated shim.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef EARTHCC_DRIVER_PIPELINE_H
 #define EARTHCC_DRIVER_PIPELINE_H
 
-#include "driver/Driver.h"
+#include "driver/Request.h"
+#include "interp/Interp.h"
+#include "simple/Function.h"
+#include "support/Remark.h"
+#include "support/Statistics.h"
 #include "support/Trace.h"
 
 #include <chrono>
+#include <memory>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -49,8 +59,9 @@ namespace earthcc {
 
 /// The merged pipeline configuration: every communication-selection knob
 /// (inherited flat from CommOptions, e.g. Opts.BlockThresholdWords) plus
-/// the phase toggles that used to live in CompileOptions. The presets
-/// mirror the paper's two program versions.
+/// the phase toggles. The presets mirror the paper's two program versions;
+/// a CompileRequest converts directly, so request-driven and hand-wired
+/// callers share one configuration type.
 struct PipelineOptions : CommOptions {
   bool Optimize = true; ///< Run the communication optimization (Phase II).
   /// Run locality inference first (downgrades pseudo-remote accesses whose
@@ -65,9 +76,11 @@ struct PipelineOptions : CommOptions {
   unsigned LowerThreads = 1;
 
   PipelineOptions() = default;
-  PipelineOptions(const CompileOptions &CO)
-      : CommOptions(CO.Comm), Optimize(CO.Optimize),
-        InferLocality(CO.InferLocality) {}
+  /// The compile-side knobs of \p Req as a pipeline configuration (the
+  /// request's Source is not carried — pass it to compile()).
+  PipelineOptions(const CompileRequest &Req)
+      : CommOptions(Req.Comm), Optimize(Req.Optimize),
+        InferLocality(Req.InferLocality), LowerThreads(Req.LowerThreads) {}
 
   /// The paper's "simple" program version: no communication optimization.
   static PipelineOptions simple() {
@@ -80,6 +93,18 @@ struct PipelineOptions : CommOptions {
 
   /// This options object viewed as the communication-selection policy.
   const CommOptions &comm() const { return *this; }
+};
+
+/// Outcome of a compilation.
+struct CompileResult {
+  bool OK = false;
+  std::unique_ptr<Module> M;
+  Statistics Stats;     ///< Pass counters (select.* keys).
+  std::string Messages; ///< Diagnostics / verifier errors when !OK.
+  /// Structured optimization remarks from the placement analysis and the
+  /// communication-selection transform, in emission order (a stage product
+  /// of the "comm-select" stage; empty when optimization is off).
+  RemarkStream Remarks;
 };
 
 /// What one pipeline stage did: its name, host wall time, and the counters
@@ -142,11 +167,24 @@ public:
   /// module. Stage reports are retained and queryable via stages().
   CompileResult compile(const std::string &Source);
 
+  /// Compiles \p Req. The request *is* the configuration: this pipeline's
+  /// options are replaced by the request's compile-side knobs first, so the
+  /// produced artifact is a pure function of the request value — the
+  /// property the CompileService's content-addressed cache relies on.
+  CompileResult compile(const CompileRequest &Req);
+
   /// Runs a previously compiled module on \p MC — compile once, run at any
   /// number of machine configurations without touching source text again.
   RunResult run(const Module &M, const MachineConfig &MC,
                 const std::string &Entry = "main",
                 const std::vector<RtValue> &Args = {});
+
+  /// Runs \p M as described by \p Req (machine shape, engine, entry, args;
+  /// Req.Sink / Req.Profiler are forwarded as the run's instrumentation).
+  RunResult run(const Module &M, const RunRequest &Req);
+
+  /// Convenience: request-driven run of a CompileResult.
+  RunResult run(const CompileResult &CR, const RunRequest &Req);
 
   /// Convenience: run a CompileResult, turning a compile failure into a
   /// failed RunResult carrying the diagnostics.

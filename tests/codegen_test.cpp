@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "codegen/ThreadedC.h"
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "simple/Printer.h"
 #include "workloads/Workloads.h"
 
@@ -408,9 +408,9 @@ namespace {
 
 std::unique_ptr<Module> compileOpt(const std::string &Src,
                                    bool Optimize = true) {
-  CompileOptions CO;
-  CO.Optimize = Optimize;
-  CompileResult CR = compileEarthC(Src, CO);
+  Pipeline P(Optimize ? PipelineOptions::optimized()
+                      : PipelineOptions::simple());
+  CompileResult CR = P.compile(Src);
   EXPECT_TRUE(CR.OK) << CR.Messages;
   return std::move(CR.M);
 }

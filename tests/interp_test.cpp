@@ -8,7 +8,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -25,9 +25,9 @@ MachineConfig machine(unsigned Nodes) {
 RunResult runSrc(const std::string &Src, unsigned Nodes = 1,
                  bool Optimize = false,
                  const std::vector<RtValue> &Args = {}) {
-  CompileOptions CO;
-  CO.Optimize = Optimize;
-  RunResult R = compileAndRun(Src, machine(Nodes), CO, "main", Args);
+  Pipeline P(Optimize ? PipelineOptions::optimized()
+                      : PipelineOptions::simple());
+  RunResult R = P.compileAndRun(Src, machine(Nodes), "main", Args);
   EXPECT_TRUE(R.OK) << R.Error;
   return R;
 }
@@ -433,9 +433,8 @@ TEST(TimingTest, DeterministicAcrossRuns) {
 TEST(TimingTest, SequentialModeHasNoEarthOps) {
   MachineConfig MC = machine(1);
   MC.SequentialMode = true;
-  CompileOptions CO;
-  CO.Optimize = false;
-  RunResult R = compileAndRun(R"(
+  Pipeline P(PipelineOptions::simple());
+  RunResult R = P.compileAndRun(R"(
     struct node { int v; node *next; };
     int main() {
       node *p;
@@ -444,7 +443,7 @@ TEST(TimingTest, SequentialModeHasNoEarthOps) {
       return p->v;
     }
   )",
-                              MC, CO);
+                                MC);
   ASSERT_TRUE(R.OK) << R.Error;
   EXPECT_EQ(R.ExitValue.I, 9);
   EXPECT_EQ(R.Counters.total(), 0u);
@@ -519,9 +518,8 @@ TEST(EndToEndTest, ResultsIdenticalAcrossNodeCounts) {
 //===----------------------------------------------------------------------===//
 
 TEST(ErrorTest, NullDereference) {
-  CompileOptions CO;
-  CO.Optimize = false;
-  RunResult R = compileAndRun(R"(
+  Pipeline P(PipelineOptions::simple());
+  RunResult R = P.compileAndRun(R"(
     struct node { int v; };
     int main() {
       node *p;
@@ -529,24 +527,23 @@ TEST(ErrorTest, NullDereference) {
       return p->v;
     }
   )",
-                              machine(1), CO);
+                                machine(1));
   EXPECT_FALSE(R.OK);
   EXPECT_NE(R.Error.find("null pointer read"), std::string::npos) << R.Error;
 }
 
 TEST(ErrorTest, DivisionByZero) {
-  CompileOptions CO;
-  RunResult R = compileAndRun("int main() { int z; z = 0; return 7 / z; }",
-                              machine(1), CO);
+  RunResult R =
+      Pipeline().compileAndRun("int main() { int z; z = 0; return 7 / z; }",
+                               machine(1));
   EXPECT_FALSE(R.OK);
   EXPECT_NE(R.Error.find("division by zero"), std::string::npos);
 }
 
 TEST(ErrorTest, UndefinedVariableRead) {
-  CompileOptions CO;
-  CO.Optimize = false;
-  RunResult R = compileAndRun("int main() { int x; return x + 1; }",
-                              machine(1), CO);
+  Pipeline P(PipelineOptions::simple());
+  RunResult R = P.compileAndRun("int main() { int x; return x + 1; }",
+                                machine(1));
   EXPECT_FALSE(R.OK);
   EXPECT_NE(R.Error.find("undefined variable"), std::string::npos);
 }
@@ -554,9 +551,8 @@ TEST(ErrorTest, UndefinedVariableRead) {
 TEST(ErrorTest, LocalityViolationCaught) {
   // A `local`-qualified pointer actually pointing to remote memory is a
   // programmer error EARTH-C cannot check; the simulator can.
-  CompileOptions CO;
-  CO.Optimize = false;
-  RunResult R = compileAndRun(R"(
+  Pipeline P(PipelineOptions::simple());
+  RunResult R = P.compileAndRun(R"(
     struct node { int v; };
     int get(node local *p) { return p->v; }
     int main() {
@@ -566,7 +562,7 @@ TEST(ErrorTest, LocalityViolationCaught) {
       return get(p);
     }
   )",
-                              machine(2), CO);
+                                machine(2));
   EXPECT_FALSE(R.OK);
   EXPECT_NE(R.Error.find("'local' access to remote address"),
             std::string::npos)
@@ -576,17 +572,16 @@ TEST(ErrorTest, LocalityViolationCaught) {
 TEST(ErrorTest, InfiniteLoopHitsFuel) {
   MachineConfig MC = machine(1);
   MC.MaxSteps = 10000;
-  CompileOptions CO;
-  RunResult R = compileAndRun(
+  RunResult R = Pipeline().compileAndRun(
       "int main() { int i; i = 0; while (i < 1) { i = i * 1; } return 0; }",
-      MC, CO);
+      MC);
   EXPECT_FALSE(R.OK);
   EXPECT_NE(R.Error.find("step limit"), std::string::npos);
 }
 
 TEST(ErrorTest, MissingEntryFunction) {
-  CompileOptions CO;
-  RunResult R = compileAndRun("int notmain() { return 0; }", machine(1), CO);
+  RunResult R =
+      Pipeline().compileAndRun("int notmain() { return 0; }", machine(1));
   EXPECT_FALSE(R.OK);
   EXPECT_NE(R.Error.find("not found"), std::string::npos);
 }

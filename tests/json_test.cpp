@@ -1,0 +1,109 @@
+//===- json_test.cpp - Unit tests for the minimal JSON layer ---------------===//
+//
+// Part of the earthcc project.
+//
+// The support/Json parser and writer back the --serve protocol; these tests
+// pin the grammar (strict RFC 8259 subset), the escape handling both ways,
+// and the compact writer's integer formatting (protocol ids must round-trip
+// textually).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace earthcc;
+
+namespace {
+
+json::Value parseOK(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_TRUE(json::parse(Text, V, Err)) << Text << ": " << Err;
+  return V;
+}
+
+std::string parseErr(const std::string &Text) {
+  json::Value V;
+  std::string Err;
+  EXPECT_FALSE(json::parse(Text, V, Err)) << Text;
+  return Err;
+}
+
+} // namespace
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(parseOK("null").isNull());
+  EXPECT_TRUE(parseOK("true").asBool());
+  EXPECT_FALSE(parseOK("false").asBool());
+  EXPECT_DOUBLE_EQ(parseOK("42").asNumber(), 42.0);
+  EXPECT_DOUBLE_EQ(parseOK("-3.5e2").asNumber(), -350.0);
+  EXPECT_EQ(parseOK("\"hi\"").asString(), "hi");
+  EXPECT_DOUBLE_EQ(parseOK("  7  ").asNumber(), 7.0); // surrounding space ok
+}
+
+TEST(JsonParseTest, Containers) {
+  json::Value A = parseOK("[1, \"two\", [3], {}]");
+  ASSERT_TRUE(A.isArray());
+  ASSERT_EQ(A.items().size(), 4u);
+  EXPECT_DOUBLE_EQ(A.items()[0].asNumber(), 1.0);
+  EXPECT_EQ(A.items()[1].asString(), "two");
+  EXPECT_TRUE(A.items()[2].isArray());
+  EXPECT_TRUE(A.items()[3].isObject());
+
+  json::Value O = parseOK("{\"a\": 1, \"b\": {\"c\": true}}");
+  ASSERT_TRUE(O.isObject());
+  EXPECT_DOUBLE_EQ(O.getNumber("a", 0), 1.0);
+  ASSERT_NE(O.find("b"), nullptr);
+  EXPECT_TRUE(O.find("b")->getBool("c", false));
+  EXPECT_EQ(O.find("missing"), nullptr);
+  EXPECT_EQ(O.getString("missing", "dflt"), "dflt");
+}
+
+TEST(JsonParseTest, StringEscapes) {
+  EXPECT_EQ(parseOK(R"("a\"b\\c\/d\n\t")").asString(), "a\"b\\c/d\n\t");
+  EXPECT_EQ(parseOK(R"("\u0041\u00e9")").asString(), "A\xc3\xa9");
+  // Surrogate pair: U+1F600 as \ud83d\ude00 -> 4-byte UTF-8.
+  EXPECT_EQ(parseOK(R"("\ud83d\ude00")").asString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParseTest, Errors) {
+  EXPECT_NE(parseErr(""), "");
+  EXPECT_NE(parseErr("{"), "");
+  EXPECT_NE(parseErr("[1,]"), "");
+  EXPECT_NE(parseErr("{\"a\" 1}"), "");
+  EXPECT_NE(parseErr("01"), "");           // leading zero
+  EXPECT_NE(parseErr("1 2"), "");          // trailing garbage
+  EXPECT_NE(parseErr("\"unterminated"), "");
+  EXPECT_NE(parseErr("\"\\ud83d\""), ""); // lone high surrogate
+  EXPECT_NE(parseErr("nul"), "");
+}
+
+TEST(JsonWriteTest, CompactAndRoundTrip) {
+  json::Value O = json::Value::object();
+  O.members().emplace_back("id", json::Value::number(17));
+  O.members().emplace_back("ok", json::Value::boolean(true));
+  O.members().emplace_back("msg", json::Value::string("a\"b\nc"));
+  json::Value Arr = json::Value::array();
+  Arr.items().push_back(json::Value::number(1.5));
+  Arr.items().push_back(json::Value::null());
+  O.members().emplace_back("xs", Arr);
+
+  // Exact integers print without a fraction so ids round-trip textually.
+  std::string S = O.str();
+  EXPECT_NE(S.find("\"id\":17"), std::string::npos) << S;
+  EXPECT_NE(S.find("\\n"), std::string::npos) << S;
+
+  json::Value Back = parseOK(S);
+  EXPECT_DOUBLE_EQ(Back.getNumber("id", 0), 17.0);
+  EXPECT_EQ(Back.getString("msg", ""), "a\"b\nc");
+  EXPECT_EQ(Back.find("xs")->items().size(), 2u);
+  EXPECT_EQ(Back.str(), S); // writer is a fixed point through the parser
+}
+
+TEST(JsonWriteTest, QuoteEscapesControls) {
+  EXPECT_EQ(json::quote("x"), "\"x\"");
+  EXPECT_EQ(json::escape(std::string("\x01", 1)), "\\u0001");
+  EXPECT_EQ(json::escape("tab\there"), "tab\\there");
+}

@@ -5,7 +5,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "analysis/Locality.h"
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 #include "frontend/Simplify.h"
 #include "workloads/Workloads.h"
 
@@ -173,12 +173,12 @@ TEST_P(LocalityWorkloadTest, InferenceIsSoundOnBenchmarks) {
   ASSERT_TRUE(Seq.OK) << Seq.Error;
 
   for (bool Optimize : {false, true}) {
-    CompileOptions CO;
-    CO.Optimize = Optimize;
-    CO.InferLocality = true;
+    PipelineOptions PO;
+    PO.Optimize = Optimize;
+    PO.InferLocality = true;
     MachineConfig MC;
     MC.NumNodes = 4;
-    RunResult R = compileAndRun(W->Source, MC, CO);
+    RunResult R = Pipeline(PO).compileAndRun(W->Source, MC);
     // The simulator traps any Local access that reaches a remote address,
     // so success here certifies the inference on this benchmark.
     ASSERT_TRUE(R.OK) << W->Name << " (optimize=" << Optimize
@@ -192,14 +192,13 @@ TEST_P(LocalityWorkloadTest, InferenceIsSoundOnBenchmarks) {
 // so the analysis rightly leaves them alone (checked below).
 TEST(LocalityRemovalTest, PowerLosesPseudoRemoteOps) {
   const Workload *W = findWorkload("power");
-  CompileOptions Plain;
-  Plain.Optimize = false;
-  CompileOptions WithLocality = Plain;
+  PipelineOptions Plain = PipelineOptions::simple();
+  PipelineOptions WithLocality = Plain;
   WithLocality.InferLocality = true;
   MachineConfig MC;
   MC.NumNodes = 4;
-  RunResult A = compileAndRun(W->Source, MC, Plain);
-  RunResult B = compileAndRun(W->Source, MC, WithLocality);
+  RunResult A = Pipeline(Plain).compileAndRun(W->Source, MC);
+  RunResult B = Pipeline(WithLocality).compileAndRun(W->Source, MC);
   ASSERT_TRUE(A.OK && B.OK) << A.Error << B.Error;
   EXPECT_LT(B.Counters.total(), A.Counters.total())
       << "locality inference should remove pseudo-remote operations";

@@ -4,6 +4,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Driver.h"
 #include "driver/Pipeline.h"
 #include "support/Trace.h"
 
@@ -77,18 +78,20 @@ TEST(PipelineOptionsTest, Presets) {
   EXPECT_EQ(Opt.BlockThresholdWords, 3u);
 }
 
-TEST(PipelineOptionsTest, ConvertsFromLegacyCompileOptions) {
-  CompileOptions CO;
-  CO.Optimize = false;
-  CO.InferLocality = true;
-  CO.Comm.BlockThresholdWords = 5;
-  CO.Comm.EnableWriteBlocking = false;
+TEST(PipelineOptionsTest, ConvertsFromCompileRequest) {
+  CompileRequest Req;
+  Req.Optimize = false;
+  Req.InferLocality = true;
+  Req.Comm.BlockThresholdWords = 5;
+  Req.Comm.EnableWriteBlocking = false;
+  Req.LowerThreads = 3;
 
-  PipelineOptions PO(CO);
+  PipelineOptions PO(Req);
   EXPECT_FALSE(PO.Optimize);
   EXPECT_TRUE(PO.InferLocality);
   EXPECT_EQ(PO.BlockThresholdWords, 5u);
   EXPECT_FALSE(PO.EnableWriteBlocking);
+  EXPECT_EQ(PO.LowerThreads, 3u);
   // The CommOptions view is the object itself, knobs flattened.
   EXPECT_EQ(PO.comm().BlockThresholdWords, 5u);
 }
@@ -231,16 +234,30 @@ TEST(PipelineTest, NullSinkRunIsIdenticalToTracedRun) {
             Traced.Counters.WriteData);
 }
 
-TEST(PipelineTest, LegacyFreeFunctionsStillWork) {
-  CompileOptions CO;
-  CompileResult CR = compileEarthC(Program, CO);
+TEST(PipelineTest, RequestDrivenCompileAndRun) {
+  // The request API is the canonical path: the request pair fully
+  // determines the artifact and the simulated result.
+  CompileRequest CReq = CompileRequest::optimized(Program);
+  Pipeline P;
+  CompileResult CR = P.compile(CReq);
   ASSERT_TRUE(CR.OK) << CR.Messages;
-  RunResult R = compileAndRun(Program, machine(2), CO);
+
+  RunRequest RReq;
+  RReq.Nodes = 2;
+  RunResult R = P.run(CR, RReq);
   ASSERT_TRUE(R.OK) << R.Error;
   EXPECT_EQ(R.ExitValue.I, 5);
 
-  // Same result as the Pipeline path.
-  RunResult ViaPipeline =
-      Pipeline(PipelineOptions(CO)).compileAndRun(Program, machine(2));
-  EXPECT_EQ(R.TimeNs, ViaPipeline.TimeNs);
+  // Identical to the hand-wired MachineConfig path.
+  RunResult ViaConfig =
+      Pipeline(PipelineOptions::optimized()).compileAndRun(Program, machine(2));
+  ASSERT_TRUE(ViaConfig.OK);
+  EXPECT_EQ(R.TimeNs, ViaConfig.TimeNs);
+  EXPECT_EQ(R.Counters.total(), ViaConfig.Counters.total());
+
+  // And to the deprecated Driver.h shim, which forwards here.
+  RunResult ViaShim = compileAndRun(Program, machine(2),
+                                    PipelineOptions::optimized());
+  ASSERT_TRUE(ViaShim.OK);
+  EXPECT_EQ(R.TimeNs, ViaShim.TimeNs);
 }

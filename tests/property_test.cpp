@@ -13,7 +13,7 @@
 //
 //===----------------------------------------------------------------------===//
 
-#include "driver/Driver.h"
+#include "driver/Pipeline.h"
 
 #include <gtest/gtest.h>
 
@@ -175,25 +175,26 @@ TEST_P(RandomProgramTest, OptimizationPreservesSemantics) {
   std::string Src = Gen.generate();
   SCOPED_TRACE(Src);
 
-  // Reference: sequential execution.
-  MachineConfig SeqMC;
-  SeqMC.SequentialMode = true;
-  CompileOptions NoOpt;
-  NoOpt.Optimize = false;
-  RunResult Seq = compileAndRun(Src, SeqMC, NoOpt);
+  // Reference: sequential execution of the unoptimized compile.
+  Pipeline P;
+  CompileResult SimpleCR = P.compile(CompileRequest::simple(Src));
+  ASSERT_TRUE(SimpleCR.OK) << SimpleCR.Messages;
+  RunRequest SeqRR;
+  SeqRR.Sequential = true;
+  RunResult Seq = P.run(SimpleCR, SeqRR);
   ASSERT_TRUE(Seq.OK) << Seq.Error;
 
   for (unsigned Nodes : {1u, 3u}) {
-    MachineConfig MC;
-    MC.NumNodes = Nodes;
-    RunResult Simple = compileAndRun(Src, MC, NoOpt);
+    RunRequest RR;
+    RR.Nodes = Nodes;
+    RunResult Simple = P.run(SimpleCR, RR);
     ASSERT_TRUE(Simple.OK) << Simple.Error;
     EXPECT_EQ(Simple.ExitValue.I, Seq.ExitValue.I) << Nodes << " nodes";
 
     for (unsigned Threshold : {1u, 2u, 3u, 5u}) {
-      CompileOptions CO;
-      CO.Comm.BlockThresholdWords = Threshold;
-      RunResult Opt = compileAndRun(Src, MC, CO);
+      CompileRequest CReq = CompileRequest::optimized(Src);
+      CReq.Comm.BlockThresholdWords = Threshold;
+      RunResult Opt = P.run(P.compile(CReq), RR);
       ASSERT_TRUE(Opt.OK)
           << "nodes " << Nodes << " threshold " << Threshold << ": "
           << Opt.Error;
@@ -211,28 +212,27 @@ TEST_P(RandomProgramTest, KnockoutsPreserveSemantics) {
   std::string Src = Gen.generate();
   SCOPED_TRACE(Src);
 
-  MachineConfig SeqMC;
-  SeqMC.SequentialMode = true;
-  CompileOptions NoOpt;
-  NoOpt.Optimize = false;
-  RunResult Seq = compileAndRun(Src, SeqMC, NoOpt);
+  Pipeline P;
+  RunRequest SeqRR;
+  SeqRR.Sequential = true;
+  RunResult Seq = P.run(P.compile(CompileRequest::simple(Src)), SeqRR);
   ASSERT_TRUE(Seq.OK) << Seq.Error;
 
-  MachineConfig MC;
-  MC.NumNodes = 3;
+  RunRequest RR;
+  RR.Nodes = 3;
   for (int Knockout = 0; Knockout != 5; ++Knockout) {
-    CompileOptions CO;
+    CompileRequest CReq = CompileRequest::optimized(Src);
     switch (Knockout) {
-    case 0: CO.Comm.EnableReadMotion = false; break;
-    case 1: CO.Comm.EnableBlocking = false; break;
-    case 2: CO.Comm.EnableWriteBlocking = false; break;
-    case 3: CO.Comm.Placement.OptimisticConditionalReads = false; break;
+    case 0: CReq.Comm.EnableReadMotion = false; break;
+    case 1: CReq.Comm.EnableBlocking = false; break;
+    case 2: CReq.Comm.EnableWriteBlocking = false; break;
+    case 3: CReq.Comm.Placement.OptimisticConditionalReads = false; break;
     case 4:
-      CO.Comm.EnableReadMotion = false;
-      CO.Comm.EnableBlocking = false;
+      CReq.Comm.EnableReadMotion = false;
+      CReq.Comm.EnableBlocking = false;
       break;
     }
-    RunResult Opt = compileAndRun(Src, MC, CO);
+    RunResult Opt = P.run(P.compile(CReq), RR);
     ASSERT_TRUE(Opt.OK) << "knockout " << Knockout << ": " << Opt.Error;
     EXPECT_EQ(Opt.ExitValue.I, Seq.ExitValue.I) << "knockout " << Knockout;
   }

@@ -1,0 +1,214 @@
+//===- request_test.cpp - Request values, cache keys, option table ---------===//
+//
+// Part of the earthcc project.
+//
+// The request API's core contract: keyBytes() covers exactly the fields
+// that can change the produced artifact — result-determining knobs perturb
+// the key, host-only and instrumentation knobs do not — and the declarative
+// option table applies the same semantics from every surface (CLI flag,
+// --serve JSON field, environment variable).
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Request.h"
+#include "support/CommProfiler.h"
+#include "support/Trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+using namespace earthcc;
+
+namespace {
+
+const char *Src = "int main() { return 1; }";
+
+} // namespace
+
+TEST(CompileRequestKeyTest, EqualRequestsEqualKeys) {
+  CompileRequest A = CompileRequest::optimized(Src);
+  CompileRequest B = CompileRequest::optimized(Src);
+  EXPECT_EQ(A.keyBytes(), B.keyBytes());
+  EXPECT_EQ(A.key(), B.key());
+  EXPECT_EQ(A.keyHex().size(), 16u);
+}
+
+TEST(CompileRequestKeyTest, ResultDeterminingFieldsPerturbKey) {
+  CompileRequest Base = CompileRequest::optimized(Src);
+
+  CompileRequest DifferentSource = Base;
+  DifferentSource.Source = "int main() { return 2; }";
+  EXPECT_NE(Base.keyBytes(), DifferentSource.keyBytes());
+
+  CompileRequest NoOpt = Base;
+  NoOpt.Optimize = false;
+  EXPECT_NE(Base.keyBytes(), NoOpt.keyBytes());
+
+  CompileRequest Locality = Base;
+  Locality.InferLocality = true;
+  EXPECT_NE(Base.keyBytes(), Locality.keyBytes());
+
+  CompileRequest Threshold = Base;
+  Threshold.Comm.BlockThresholdWords = 7;
+  EXPECT_NE(Base.keyBytes(), Threshold.keyBytes());
+
+  CompileRequest Knockout = Base;
+  Knockout.Comm.EnableReadMotion = false;
+  EXPECT_NE(Base.keyBytes(), Knockout.keyBytes());
+}
+
+TEST(CompileRequestKeyTest, HostOnlyKnobsDoNotPerturbKey) {
+  CompileRequest A = CompileRequest::optimized(Src);
+  CompileRequest B = A;
+  B.LowerThreads = 8; // bit-identical output at any setting
+  EXPECT_EQ(A.keyBytes(), B.keyBytes());
+}
+
+TEST(CompileRequestKeyTest, SourceIsLengthPrefixed) {
+  // Concatenation attacks must not collide: source bytes are length-
+  // prefixed in the serialization, so a source that *contains* another
+  // request's record bytes still hashes differently.
+  CompileRequest A = CompileRequest::simple("ab");
+  CompileRequest B = CompileRequest::simple("a");
+  EXPECT_NE(A.keyBytes(), B.keyBytes());
+  EXPECT_NE(A.keyBytes().find("2:ab"), std::string::npos);
+}
+
+TEST(RunRequestKeyTest, ResultDeterminingFieldsPerturbKey) {
+  RunRequest Base;
+
+  RunRequest Nodes = Base;
+  Nodes.Nodes = 8;
+  EXPECT_NE(Base.keyBytes(), Nodes.keyBytes());
+
+  RunRequest Engine = Base;
+  Engine.Engine = ExecEngine::AST;
+  EXPECT_NE(Base.keyBytes(), Engine.keyBytes());
+
+  RunRequest Fuse = Base;
+  Fuse.Fuse = !Base.Fuse;
+  EXPECT_NE(Base.keyBytes(), Fuse.keyBytes());
+
+  RunRequest Seq = Base;
+  Seq.Sequential = true;
+  EXPECT_NE(Base.keyBytes(), Seq.keyBytes());
+
+  RunRequest Entry = Base;
+  Entry.Entry = "other";
+  EXPECT_NE(Base.keyBytes(), Entry.keyBytes());
+
+  RunRequest Args = Base;
+  Args.Args.push_back(RtValue::makeInt(3));
+  EXPECT_NE(Base.keyBytes(), Args.keyBytes());
+
+  RunRequest Costs = Base;
+  Costs.Costs.NetDelay *= 2;
+  EXPECT_NE(Base.keyBytes(), Costs.keyBytes());
+
+  RunRequest Fuel = Base;
+  Fuel.MaxSteps = 123;
+  EXPECT_NE(Base.keyBytes(), Fuel.keyBytes());
+}
+
+TEST(RunRequestKeyTest, InstrumentationDoesNotPerturbKey) {
+  RunRequest A;
+  RunRequest B = A;
+  // Attaching observers must never change which cached artifact a request
+  // maps to — they observe the run, they don't define it.
+  ChromeTraceSink Sink;
+  B.Sink = &Sink;
+  CommProfiler Prof;
+  B.Profiler = &Prof;
+  EXPECT_EQ(A.keyBytes(), B.keyBytes());
+}
+
+TEST(RunRequestKeyTest, SequentialNormalizesNodeCount) {
+  // Sequential mode forces one node, and the key uses the *effective*
+  // machine: a 4-node and an 8-node sequential request are one artifact.
+  RunRequest A, B;
+  A.Sequential = B.Sequential = true;
+  A.Nodes = 4;
+  B.Nodes = 8;
+  EXPECT_EQ(A.keyBytes(), B.keyBytes());
+  EXPECT_EQ(A.machine().NumNodes, 1u);
+}
+
+TEST(RunRequestTest, DefaultsMirrorMachineConfig) {
+  RunRequest R;
+  MachineConfig MC;
+  EXPECT_EQ(R.Engine, MC.Engine);
+  EXPECT_EQ(R.Fuse, MC.Fuse);
+  EXPECT_EQ(R.MaxSteps, MC.MaxSteps);
+  EXPECT_EQ(R.EUQuantum, MC.EUQuantum);
+  EXPECT_EQ(R.machine().Costs.NetDelay, MC.Costs.NetDelay);
+}
+
+//===----------------------------------------------------------------------===//
+// The declarative option table.
+//===----------------------------------------------------------------------===//
+
+TEST(OptionTableTest, AppliesEveryPublishedKnob) {
+  CompileRequest C;
+  RunRequest R;
+  std::string Err;
+  EXPECT_TRUE(applyRequestOption(C, R, "nodes", "8", Err)) << Err;
+  EXPECT_EQ(R.Nodes, 8u);
+  EXPECT_TRUE(applyRequestOption(C, R, "engine", "ast", Err)) << Err;
+  EXPECT_EQ(R.Engine, ExecEngine::AST);
+  EXPECT_TRUE(applyRequestOption(C, R, "fuse", "off", Err)) << Err;
+  EXPECT_FALSE(R.Fuse);
+  EXPECT_TRUE(applyRequestOption(C, R, "no-opt", "", Err)) << Err;
+  EXPECT_FALSE(C.Optimize);
+  EXPECT_TRUE(applyRequestOption(C, R, "locality", "on", Err)) << Err;
+  EXPECT_TRUE(C.InferLocality);
+  EXPECT_TRUE(applyRequestOption(C, R, "threshold", "5", Err)) << Err;
+  EXPECT_EQ(C.Comm.BlockThresholdWords, 5u);
+  EXPECT_TRUE(applyRequestOption(C, R, "entry", "start", Err)) << Err;
+  EXPECT_EQ(R.Entry, "start");
+  EXPECT_TRUE(applyRequestOption(C, R, "lower-threads", "4", Err)) << Err;
+  EXPECT_EQ(C.LowerThreads, 4u);
+  EXPECT_TRUE(applyRequestOption(C, R, "max-steps", "1000", Err)) << Err;
+  EXPECT_EQ(R.MaxSteps, 1000u);
+  EXPECT_TRUE(applyRequestOption(C, R, "quantum", "16", Err)) << Err;
+  EXPECT_EQ(R.EUQuantum, 16u);
+  EXPECT_TRUE(applyRequestOption(C, R, "seq", "on", Err)) << Err;
+  EXPECT_TRUE(R.Sequential);
+}
+
+TEST(OptionTableTest, RejectsMalformedInput) {
+  CompileRequest C;
+  RunRequest R;
+  std::string Err;
+  EXPECT_FALSE(applyRequestOption(C, R, "no-such-option", "1", Err));
+  EXPECT_NE(Err.find("no-such-option"), std::string::npos);
+  EXPECT_FALSE(applyRequestOption(C, R, "engine", "quantum", Err));
+  EXPECT_FALSE(applyRequestOption(C, R, "nodes", "0", Err));
+  EXPECT_FALSE(applyRequestOption(C, R, "nodes", "abc", Err));
+  EXPECT_FALSE(applyRequestOption(C, R, "fuse", "maybe", Err));
+}
+
+TEST(OptionTableTest, EnvironmentGoesThroughTheSameTable) {
+  // EARTHCC_FUSE is declared on the `fuse` entry: applyRequestEnv must
+  // read it and apply the same setter the CLI and the JSON protocol use.
+  ASSERT_EQ(setenv("EARTHCC_FUSE", "off", 1), 0);
+  CompileRequest C;
+  RunRequest R;
+  R.Fuse = true;
+  std::string Err;
+  EXPECT_TRUE(applyRequestEnv(C, R, Err)) << Err;
+  EXPECT_FALSE(R.Fuse);
+  ASSERT_EQ(unsetenv("EARTHCC_FUSE"), 0);
+}
+
+TEST(OptionTableTest, TableEntriesAreWellFormed) {
+  for (const RequestOption &O : requestOptions()) {
+    EXPECT_NE(O.Name, nullptr);
+    EXPECT_NE(O.Help, nullptr);
+    EXPECT_NE(O.Apply, nullptr);
+    // Names are flag-shaped: lowercase/dash only, no leading dashes.
+    for (const char *P = O.Name; *P; ++P)
+      EXPECT_TRUE((*P >= 'a' && *P <= 'z') || *P == '-') << O.Name;
+    EXPECT_NE(O.Name[0], '-');
+  }
+}
