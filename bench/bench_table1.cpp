@@ -388,6 +388,49 @@ int main(int argc, char **argv) {
   for (const StageReport &SR : SimP.stages())
     std::printf("  %-12s %10.1f us\n", SR.Name.c_str(), SR.WallNs / 1e3);
 
+  // Placement/comm-select fan-out: mean host time of the two optimization
+  // stages over fresh compiles of health, serial vs all hardware threads.
+  // Output is bit-identical at any thread count (the pass-threads
+  // determinism suite pins it); this measures only the host speed of the
+  // per-function task fan-out.
+  auto passStageNs = [&](unsigned Threads, double &PlacementNs,
+                         double &SelectNs) {
+    PipelineOptions PO = workloadOptions(RunMode::Optimized);
+    PO.PassThreads = Threads;
+    PlacementNs = SelectNs = 0;
+    for (int I = 0; I != SimIters; ++I) {
+      Pipeline P(PO);
+      CompileResult CR = P.compile(findWorkload("health")->Source);
+      if (!CR.OK) {
+        std::fprintf(stderr, "pass-threads bench compile failed: %s\n",
+                     CR.Messages.c_str());
+        return;
+      }
+      for (const StageReport &SR : P.stages()) {
+        if (SR.Name == "placement")
+          PlacementNs += SR.WallNs;
+        else if (SR.Name == "comm-select")
+          SelectNs += SR.WallNs;
+      }
+    }
+    PlacementNs /= SimIters;
+    SelectNs /= SimIters;
+  };
+  const unsigned PassPar = ThreadPool::hardwareThreads();
+  double PassSerPlace = 0, PassSerSel = 0, PassParPlace = 0, PassParSel = 0;
+  passStageNs(1, PassSerPlace, PassSerSel);
+  passStageNs(PassPar, PassParPlace, PassParSel);
+  std::printf("\nPlacement + comm-select time (health module, mean of %d):\n"
+              "  serial          %10.1f us  (placement %.1f + select %.1f)\n"
+              "  %2u thread(s)    %10.1f us  (placement %.1f + select %.1f)\n",
+              SimIters, (PassSerPlace + PassSerSel) / 1e3, PassSerPlace / 1e3,
+              PassSerSel / 1e3, PassPar, (PassParPlace + PassParSel) / 1e3,
+              PassParPlace / 1e3, PassParSel / 1e3);
+  if (PassPar <= 1)
+    std::printf("  (single hardware thread: the second figure is the serial "
+                "path plus\n   thread-pool dispatch overhead, not a parallel "
+                "measurement)\n");
+
   // Service request sweep: the CompileService under closed-loop load at
   // 1/4/8 client threads. The cold phase submits distinct requests (every
   // one a cache miss: a full compile + simulate), then one warmup request
@@ -515,6 +558,22 @@ int main(int argc, char **argv) {
     // same stages, same machine class.
     Out << "  \"pass_ns_before_flatsets\": " << kPassNsBeforeFlatSets
         << ",\n";
+    // Placement + comm-select stage times at 1 worker vs all hardware
+    // threads (same honesty bit convention as lower_ns: on a single-thread
+    // host the parallel figure is serial work plus pool dispatch overhead).
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"pass_ns_serial\": {\"placement\": %.0f, "
+                  "\"comm-select\": %.0f},\n",
+                  PassSerPlace, PassSerSel);
+    Out << Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"pass_ns_parallel\": {\"placement\": %.0f, "
+                  "\"comm-select\": %.0f, \"threads\": %u, "
+                  "\"hardware_threads\": %u, \"parallel_exercised\": %s},\n",
+                  PassParPlace, PassParSel, PassPar,
+                  ThreadPool::hardwareThreads(),
+                  PassPar > 1 ? "true" : "false");
+    Out << Buf;
     // The service sweep: per client count, client-observed latency and
     // throughput for cold (every request a distinct compile+simulate) and
     // warm (one cached request replayed) phases. sims_per_sec counts

@@ -39,12 +39,12 @@ std::string RCE::str() const {
 
 const std::vector<RCE> &PlacementResult::readsBefore(const Stmt *S) const {
   auto It = BeforeReads.find(S);
-  return It == BeforeReads.end() ? Empty : It->second;
+  return It == BeforeReads.end() || !It->second ? Empty : *It->second;
 }
 
 const std::vector<RCE> &PlacementResult::writesAfter(const Stmt *S) const {
   auto It = AfterWrites.find(S);
-  return It == AfterWrites.end() ? Empty : It->second;
+  return It == AfterWrites.end() || !It->second ? Empty : *It->second;
 }
 
 namespace {
@@ -61,14 +61,22 @@ struct RCEKeyHash {
 
 /// Hash-indexed flat set of RCE tuples: contiguous storage (cheap to scan,
 /// cheap to move tuples into) plus an unordered index for O(1) merging.
-/// Iteration order is insertion order, so it is NOT deterministic across
-/// allocation patterns — every output boundary goes through toVector(),
-/// which sorts by (variable id, offset).
+/// Iteration order is insertion order (deterministic: it only depends on
+/// the order of add() calls); every output boundary goes through
+/// snapshot(), which sorts by (variable id, offset).
+///
+/// The set doubles as the *running* set of the sequence walks: snapshot()
+/// caches its sorted vector behind a shared_ptr, so a run of statements
+/// across which the set does not change shares one snapshot and pays
+/// neither a copy nor a sort — the delta-propagation fast path that makes
+/// the analysis sparse.
 class RCESet {
 public:
   /// Inserts \p T, or merges it into the tuple already recorded for its
-  /// location (frequencies add, Dlists unite).
+  /// location (frequencies add, Dlists unite; the earlier-inserted tuple's
+  /// location/field/type metadata wins).
   void add(RCE T) {
+    Sorted.reset();
     auto [It, Inserted] = Index.try_emplace({T.Base, T.Off}, Items.size());
     if (Inserted) {
       Items.push_back(std::move(T));
@@ -83,6 +91,19 @@ public:
     Existing.DList = std::move(Merged);
   }
 
+  /// Replaces this set with "gen set \p Gen, plus every current tuple not
+  /// killed by \p Killed" — the per-statement transfer of the sequence
+  /// walks, performing exactly the add() sequence the full re-merge did
+  /// (gen tuples first, then the survivors in their existing order), so
+  /// merge metadata and iteration order are preserved. Call only when the
+  /// set actually changes; the unchanged case shares the snapshot instead.
+  template <typename KillFn> void mergeOver(RCESet Gen, KillFn &&Killed) {
+    for (RCE &T : Items)
+      if (!Killed(T))
+        Gen.add(std::move(T));
+    *this = std::move(Gen);
+  }
+
   const RCE *find(const RCEKey &K) const {
     auto It = Index.find(K);
     return It == Index.end() ? nullptr : &Items[It->second];
@@ -90,27 +111,32 @@ public:
   bool contains(const RCEKey &K) const { return Index.count(K) != 0; }
 
   size_t size() const { return Items.size(); }
+  bool empty() const { return Items.empty(); }
   std::vector<RCE>::const_iterator begin() const { return Items.begin(); }
   std::vector<RCE>::const_iterator end() const { return Items.end(); }
+
+  /// The set as a shared, sorted (variable id, offset) vector. Cached until
+  /// the next mutation, so consecutive statements with an unchanged set
+  /// share one vector.
+  PlacementResult::Snapshot snapshot() const {
+    if (!Sorted) {
+      auto Out = std::make_shared<std::vector<RCE>>(Items.begin(),
+                                                    Items.end());
+      std::sort(Out->begin(), Out->end(), [](const RCE &A, const RCE &B) {
+        if (A.Base->id() != B.Base->id())
+          return A.Base->id() < B.Base->id();
+        return A.Off < B.Off;
+      });
+      Sorted = std::move(Out);
+    }
+    return Sorted;
+  }
 
 private:
   std::vector<RCE> Items;
   std::unordered_map<RCEKey, size_t, RCEKeyHash> Index;
+  mutable PlacementResult::Snapshot Sorted;
 };
-
-std::vector<RCE> toVector(const RCESet &Set) {
-  std::vector<RCE> Out;
-  Out.reserve(Set.size());
-  for (const RCE &T : Set)
-    Out.push_back(T);
-  // Deterministic order: by variable id, then offset.
-  std::sort(Out.begin(), Out.end(), [](const RCE &A, const RCE &B) {
-    if (A.Base->id() != B.Base->id())
-      return A.Base->id() < B.Base->id();
-    return A.Off < B.Off;
-  });
-  return Out;
-}
 
 class PlacementAnalyzer {
 public:
@@ -273,20 +299,26 @@ private:
   }
 
   /// The paper's collectCommReadsSeq: backward walk recording the set
-  /// placeable just before every element.
+  /// placeable just before every element. Sparse: per statement only the
+  /// delta (gen tuples, killed tuples) is applied to the running set, and
+  /// statements that neither generate nor can kill (the common case) share
+  /// the predecessor's snapshot unchanged.
   RCESet collectReadsSeq(const SeqStmt &Seq) {
     if (Seq.Stmts.empty())
       return {};
     RCESet Curr = collectReads(*Seq.Stmts.back());
-    Result.BeforeReads[Seq.Stmts.back().get()] = toVector(Curr);
+    Result.BeforeReads[Seq.Stmts.back().get()] = Curr.snapshot();
     for (size_t I = Seq.Stmts.size() - 1; I-- > 0;) {
       const Stmt &Pred = *Seq.Stmts[I];
-      RCESet PredSet = collectReads(Pred);
-      for (const RCE &T : Curr)
-        if (!killsRead(T, Pred))
-          PredSet.add(T);
-      Curr = std::move(PredSet);
-      Result.BeforeReads[&Pred] = toVector(Curr);
+      // Always collect (it also records results for nested statements).
+      RCESet Gen = collectReads(Pred);
+      // A statement that writes nothing kills nothing.
+      bool CanKill = !Curr.empty() && SE.writesAnything(Pred);
+      if (!Gen.empty() || CanKill)
+        Curr.mergeOver(std::move(Gen), [&](const RCE &T) {
+          return CanKill && killsRead(T, Pred);
+        });
+      Result.BeforeReads[&Pred] = Curr.snapshot();
     }
     return Curr;
   }
@@ -393,19 +425,22 @@ private:
     return *castStmt<ForallStmt>(S).Body;
   }
 
+  /// Forward counterpart of collectReadsSeq, with the same sparse delta
+  /// propagation.
   RCESet collectWritesSeq(const SeqStmt &Seq) {
     if (Seq.Stmts.empty())
       return {};
     RCESet Curr = collectWrites(*Seq.Stmts.front());
-    Result.AfterWrites[Seq.Stmts.front().get()] = toVector(Curr);
+    Result.AfterWrites[Seq.Stmts.front().get()] = Curr.snapshot();
     for (size_t I = 1; I != Seq.Stmts.size(); ++I) {
       const Stmt &Succ = *Seq.Stmts[I];
-      RCESet SuccSet = collectWrites(Succ);
-      for (const RCE &T : Curr)
-        if (!killsWrite(T, Succ))
-          SuccSet.add(T);
-      Curr = std::move(SuccSet);
-      Result.AfterWrites[&Succ] = toVector(Curr);
+      RCESet Gen = collectWrites(Succ);
+      bool CanKill = !Curr.empty() && SE.blocksWriteTuples(Succ);
+      if (!Gen.empty() || CanKill)
+        Curr.mergeOver(std::move(Gen), [&](const RCE &T) {
+          return CanKill && killsWrite(T, Succ);
+        });
+      Result.AfterWrites[&Succ] = Curr.snapshot();
     }
     return Curr;
   }

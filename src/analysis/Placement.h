@@ -43,8 +43,9 @@
 #include "analysis/SideEffects.h"
 #include "support/SourceLoc.h"
 
-#include <map>
+#include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace earthcc {
@@ -74,15 +75,24 @@ struct PlacementOptions {
 };
 
 /// Result of possible-placement analysis on one function.
+///
+/// The per-statement sets are stored as *shared* sorted snapshots: the
+/// analysis walks each sequence propagating only set deltas, and every run
+/// of statements across which the set does not change shares one snapshot
+/// vector (most statements neither generate a tuple nor can kill one, so
+/// this is the common case). Consumers only ever read the vectors.
 class PlacementResult {
 public:
-  /// RCEs placeable just before \p S (empty vector if none).
+  /// RCEs placeable just before \p S (empty vector if none), sorted by
+  /// (base variable id, offset).
   const std::vector<RCE> &readsBefore(const Stmt *S) const;
   /// RCEs placeable just after \p S.
   const std::vector<RCE> &writesAfter(const Stmt *S) const;
 
-  std::map<const Stmt *, std::vector<RCE>> BeforeReads;
-  std::map<const Stmt *, std::vector<RCE>> AfterWrites;
+  using Snapshot = std::shared_ptr<const std::vector<RCE>>;
+  using SetMap = std::unordered_map<const Stmt *, Snapshot>;
+  SetMap BeforeReads;
+  SetMap AfterWrites;
 
 private:
   std::vector<RCE> Empty;

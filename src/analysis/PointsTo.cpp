@@ -330,13 +330,27 @@ bool PointsToAnalysis::mayAlias(const Var *P, unsigned OffP, const Var *Q,
                                 unsigned OffQ) const {
   if (P == Q)
     return OffP == OffQ;
-  TargetSet A = accessedWords(P, OffP);
+  // Allocation-free: pts sets are ordered by (Obj, Off), and shifting every
+  // Off by a constant preserves that order, so the two accessed-word sets
+  // can be intersected by a single two-pointer walk without materializing
+  // either of them. This query sits on the innermost loop of the placement
+  // kill checks and the selection invalidation walks.
+  const TargetSet &A = pointsTo(P);
   if (A.empty())
     return false;
-  TargetSet B = accessedWords(Q, OffQ);
-  for (Target T : B)
-    if (A.count(T))
+  const TargetSet &B = pointsTo(Q);
+  auto I = A.begin(), IEnd = A.end();
+  auto J = B.begin(), JEnd = B.end();
+  while (I != IEnd && J != JEnd) {
+    Target TA{I->Obj, I->Off + OffP};
+    Target TB{J->Obj, J->Off + OffQ};
+    if (TA < TB)
+      ++I;
+    else if (TB < TA)
+      ++J;
+    else
       return true;
+  }
   return false;
 }
 

@@ -175,6 +175,9 @@ SideEffects::StmtEffects SideEffects::computeStmt(const Stmt &S) {
     break;
   }
 
+  for (const HeapAccess &H : E.Heap)
+    (H.IsWrite ? E.HasHeapWrite : E.HasHeapRead) = true;
+
   Cache[&S] = E;
   return E;
 }
@@ -192,6 +195,17 @@ bool SideEffects::varWritten(const Var *V, const Stmt &S) const {
 
 bool SideEffects::containsReturn(const Stmt &S) const {
   return effects(S).HasReturn;
+}
+
+bool SideEffects::writesAnything(const Stmt &S) const {
+  const StmtEffects &E = effects(S);
+  return !E.VarWrites.empty() || E.HasHeapWrite || !E.CallWriteWords.empty();
+}
+
+bool SideEffects::blocksWriteTuples(const Stmt &S) const {
+  const StmtEffects &E = effects(S);
+  return !E.VarWrites.empty() || E.HasHeapWrite || !E.CallWriteWords.empty() ||
+         E.HasReturn || E.HasHeapRead || !E.CallReadWords.empty();
 }
 
 bool SideEffects::directlyReads(const Var *P, const Stmt &S) const {
@@ -224,11 +238,13 @@ bool SideEffects::accessedViaAlias(const Var *P, unsigned Off, const Stmt &S,
   }
 
   // Call effects (always "via alias": the callee uses its own variables).
+  // Walk pts(P) directly instead of materializing accessedWords(P, Off) —
+  // this query runs per tuple per statement in the placement kill checks.
   const auto &Words = Write ? E.CallWriteWords : E.CallReadWords;
   if (Words.empty())
     return false;
-  for (auto T : PT.accessedWords(P, Off))
-    if (Words.count(T))
+  for (auto T : PT.pointsTo(P))
+    if (Words.count({T.Obj, T.Off + Off}))
       return true;
   return false;
 }

@@ -58,6 +58,18 @@ public:
   /// across returns).
   bool containsReturn(const Stmt &S) const;
 
+  /// Quick rejection for the placement/selection kill checks: false when
+  /// \p S writes nothing at all (no variable assignments, no direct heap
+  /// stores, no callee write effects) — then no read tuple and no live
+  /// binding can be killed by it, and the per-tuple checks can be skipped
+  /// wholesale.
+  bool writesAnything(const Stmt &S) const;
+
+  /// Quick rejection for the write-tuple kill check: false when \p S also
+  /// performs no heap/call *read* and contains no return, i.e. no write
+  /// tuple can be stopped by it.
+  bool blocksWriteTuples(const Stmt &S) const;
+
   /// True if \p S (recursively) performs a *direct* heap read through the
   /// base variable \p P (any offset). Used by the RemoteFill elision check.
   bool directlyReads(const Var *P, const Stmt &S) const;
@@ -86,6 +98,8 @@ private:
     WordSet CallReadWords;
     WordSet CallWriteWords;
     bool HasReturn = false;
+    bool HasHeapWrite = false; ///< Any Heap entry with IsWrite.
+    bool HasHeapRead = false;  ///< Any Heap entry without IsWrite.
   };
 
   void computeSummaries(const Module &M);

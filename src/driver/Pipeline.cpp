@@ -124,9 +124,26 @@ CompileResult Pipeline::compile(const std::string &Source) {
   }
 
   if (Opts.Optimize) {
+    // The communication optimization runs as two named stages so the
+    // analysis cost is attributable separately from the rewrite: placement
+    // snapshots the module (points-to, side effects, per-function
+    // possible-placement sets), comm-select performs the per-function
+    // rewrites against that snapshot. Both fan out one function per task
+    // over Opts.PassThreads with bit-identical output at any setting.
+    std::unique_ptr<CommAnalysis> CA;
+    OK = runStage("placement", R, [&](Statistics &S) {
+      CA = std::make_unique<CommAnalysis>(*R.M, Opts.comm(), S,
+                                          /*EmitRemarks=*/true,
+                                          Opts.PassThreads);
+      return true;
+    });
+    if (!OK)
+      return R;
+
     OK = runStage("comm-select", R, [&](Statistics &S) {
       std::vector<std::string> Errors;
-      if (optimizeModuleCommunication(*R.M, Opts, S, Errors, &R.Remarks)) {
+      if (selectModuleCommunication(*R.M, *CA, Opts, S, Errors, &R.Remarks,
+                                    Opts.PassThreads)) {
         S.add("select.remarks", R.Remarks.size());
         return true;
       }

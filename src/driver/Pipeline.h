@@ -74,13 +74,20 @@ struct PipelineOptions : CommOptions {
   /// concurrency, N uses N workers. Output is bit-identical at every
   /// setting (see lowerModule); this is purely a host wall-clock knob.
   unsigned LowerThreads = 1;
+  /// Worker threads for the placement and comm-select stages, fanned out
+  /// one function per task (same convention as LowerThreads: 1 = serial,
+  /// 0 = all hardware). Output — module, remarks, comm profiles — is
+  /// bit-identical at every setting (see CommAnalysis /
+  /// selectModuleCommunication); purely a host wall-clock knob.
+  unsigned PassThreads = 1;
 
   PipelineOptions() = default;
   /// The compile-side knobs of \p Req as a pipeline configuration (the
   /// request's Source is not carried — pass it to compile()).
   PipelineOptions(const CompileRequest &Req)
       : CommOptions(Req.Comm), Optimize(Req.Optimize),
-        InferLocality(Req.InferLocality), LowerThreads(Req.LowerThreads) {}
+        InferLocality(Req.InferLocality), LowerThreads(Req.LowerThreads),
+        PassThreads(Req.PassThreads) {}
 
   /// The paper's "simple" program version: no communication optimization.
   static PipelineOptions simple() {

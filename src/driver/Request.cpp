@@ -92,8 +92,9 @@ std::string CompileRequest::keyBytes() const {
   W.integer("max-overfetch", Comm.MaxBlockOverfetch);
   W.real("loop-freq", Comm.Placement.LoopFrequencyFactor);
   W.boolean("optimistic-cond", Comm.Placement.OptimisticConditionalReads);
-  // LowerThreads is intentionally absent: lowering output is bit-identical
-  // at every thread count, so it cannot change the artifact.
+  // LowerThreads and PassThreads are intentionally absent: lowering and the
+  // placement/selection passes produce bit-identical output at every thread
+  // count, so neither can change the artifact.
   W.text("source", Source);
   return W.take();
 }
@@ -259,6 +260,13 @@ const std::vector<RequestOption> &earthcc::requestOptions() {
        [](CompileRequest &C, RunRequest &, const std::string &V,
           std::string &Err) {
          return parseUnsignedValue(V, C.LowerThreads, Err, "lower-threads");
+       }},
+      {"pass-threads", "N", "EARTHCC_PASS_THREADS",
+       "placement/comm-select worker threads, one function per task (0 = "
+       "all hardware; output is identical)",
+       [](CompileRequest &C, RunRequest &, const std::string &V,
+          std::string &Err) {
+         return parseUnsignedValue(V, C.PassThreads, Err, "pass-threads");
        }},
       {"no-opt", nullptr, nullptr, "disable the communication optimization",
        [](CompileRequest &C, RunRequest &, const std::string &V,

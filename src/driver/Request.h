@@ -60,6 +60,10 @@ struct CompileRequest {
   /// lowering output is bit-identical at every setting — and therefore
   /// excluded from keyBytes().
   unsigned LowerThreads = 1;
+  /// Worker threads for the per-function placement/selection passes. Same
+  /// contract as LowerThreads: output is bit-identical at every setting
+  /// (module, remarks, comm profiles), so it is excluded from keyBytes().
+  unsigned PassThreads = 1;
 
   /// The paper's "simple" program version: no communication optimization.
   static CompileRequest simple(std::string Source);

@@ -236,7 +236,8 @@ private:
         return Operand::doubleConst(static_cast<double>(O.getConst().I));
       Var *T = F->addTemp(To);
       emit<AssignStmt>(LValue::makeVar(T),
-                       std::make_unique<UnaryRV>(UnaryOp::IntToDouble, O));
+                       std::make_unique<UnaryRV>(UnaryOp::IntToDouble, O))
+          ->setLoc(Loc);
       return Operand::var(T);
     }
     if (From->isDouble() && To->isInt()) {
@@ -246,7 +247,8 @@ private:
         return Operand::intConst(interp::doubleToIntSat(O.getConst().D));
       Var *T = F->addTemp(To);
       emit<AssignStmt>(LValue::makeVar(T),
-                       std::make_unique<UnaryRV>(UnaryOp::DoubleToInt, O));
+                       std::make_unique<UnaryRV>(UnaryOp::DoubleToInt, O))
+          ->setLoc(Loc);
       return Operand::var(T);
     }
     if (To->isPointer() && From->isInt() && isNullConst(O))
@@ -285,7 +287,8 @@ private:
     if (O.isVar())
       return const_cast<Var *>(O.getVar());
     Var *T = F->addTemp(Ty);
-    emit<AssignStmt>(LValue::makeVar(T), std::make_unique<OpndRV>(O));
+    emit<AssignStmt>(LValue::makeVar(T), std::make_unique<OpndRV>(O))
+        ->setLoc(E.Loc);
     return T;
   }
 
@@ -441,13 +444,15 @@ private:
                   Ty};
         Var *T = F->addTemp(Ty);
         emit<AssignStmt>(LValue::makeVar(T),
-                         std::make_unique<UnaryRV>(UnaryOp::Neg, O));
+                         std::make_unique<UnaryRV>(UnaryOp::Neg, O))
+            ->setLoc(E.Loc);
         return {Operand::var(T), Ty};
       }
       // Logical not.
       Var *T = F->addTemp(M->types().intTy());
       emit<AssignStmt>(LValue::makeVar(T),
-                       std::make_unique<UnaryRV>(UnaryOp::Not, O));
+                       std::make_unique<UnaryRV>(UnaryOp::Not, O))
+          ->setLoc(E.Loc);
       return {Operand::var(T), M->types().intTy()};
     }
     case Expr::Kind::Binary:
@@ -474,7 +479,8 @@ private:
       Var *T = F->addTemp(ResTy);
       emit<AssignStmt>(LValue::makeVar(T),
                        std::make_unique<AddrOfFieldRV>(
-                           P->Base, P->OffsetWords, P->FieldName, ResTy));
+                           P->Base, P->OffsetWords, P->FieldName, ResTy))
+          ->setLoc(E.Loc);
       return {Operand::var(T), ResTy};
     }
     case Expr::Kind::Call:
@@ -497,7 +503,8 @@ private:
       Var *T = F->addTemp(P.Ty);
       emit<AssignStmt>(LValue::makeVar(T),
                        std::make_unique<FieldReadRV>(P.Base, P.OffsetWords,
-                                                     P.FieldName, P.Ty));
+                                                     P.FieldName, P.Ty))
+          ->setLoc(Loc);
       return {Operand::var(T), P.Ty};
     }
     case AccessPath::Kind::Indirect: {
@@ -510,7 +517,8 @@ private:
       emit<AssignStmt>(LValue::makeVar(T),
                        std::make_unique<LoadRV>(P.Base, P.OffsetWords,
                                                 P.FieldName, P.Ty,
-                                                localityOf(P.Base)));
+                                                localityOf(P.Base)))
+          ->setLoc(Loc);
       return {Operand::var(T), P.Ty};
     }
     }
@@ -554,7 +562,8 @@ private:
       }
       Var *T = F->addTemp(IntTy);
       emit<AssignStmt>(LValue::makeVar(T),
-                       std::make_unique<BinaryRV>(Op, A, B));
+                       std::make_unique<BinaryRV>(Op, A, B))
+          ->setLoc(E.Loc);
       return {Operand::var(T), IntTy};
     }
 
@@ -570,7 +579,8 @@ private:
 
     const Type *ResTy = isComparison(Op) ? IntTy : OpTy;
     Var *T = F->addTemp(ResTy);
-    emit<AssignStmt>(LValue::makeVar(T), std::make_unique<BinaryRV>(Op, A, B));
+    emit<AssignStmt>(LValue::makeVar(T), std::make_unique<BinaryRV>(Op, A, B))
+        ->setLoc(E.Loc);
     return {Operand::var(T), ResTy};
   }
 
@@ -582,7 +592,8 @@ private:
     Var *T = F->addTemp(IntTy);
     bool IsAnd = E.BOp == Expr::BinOp::LAnd;
     emit<AssignStmt>(LValue::makeVar(T), std::make_unique<OpndRV>(
-                                             Operand::intConst(IsAnd ? 0 : 1)));
+                                             Operand::intConst(IsAnd ? 0 : 1)))
+        ->setLoc(E.Loc);
 
     auto CondA = lowerCondRV(*E.Lhs, /*Negate=*/!IsAnd);
     auto OuterIf = std::make_unique<IfStmt>(std::move(CondA),
@@ -600,7 +611,8 @@ private:
     seq().push(std::move(InnerIf));
     SeqStack.push_back(Inner->Then.get());
     emit<AssignStmt>(LValue::makeVar(T), std::make_unique<OpndRV>(
-                                             Operand::intConst(IsAnd ? 1 : 0)));
+                                             Operand::intConst(IsAnd ? 1 : 0)))
+        ->setLoc(E.Loc);
     SeqStack.pop_back();
     SeqStack.pop_back();
     return {Operand::var(T), IntTy};
@@ -1089,7 +1101,8 @@ private:
       }
       // Fall through: re-lower generically (rare: mismatched result type).
       Var *T = F->addTemp(ResTy);
-      emit<AssignStmt>(LValue::makeVar(T), std::make_unique<BinaryRV>(Op, A, B));
+      emit<AssignStmt>(LValue::makeVar(T), std::make_unique<BinaryRV>(Op, A, B))
+          ->setLoc(Loc);
       Operand O = coerce(Operand::var(T), ResTy, V->type(), Loc);
       emit<AssignStmt>(LValue::makeVar(V), std::make_unique<OpndRV>(O))
           ->setLoc(Loc);
@@ -1180,7 +1193,8 @@ private:
     auto emitCondInto = [&](SeqStmt *Target) {
       SeqStack.push_back(Target);
       auto CondRV = lowerCondRV(*S.Cond);
-      emit<AssignStmt>(LValue::makeVar(CondVar), std::move(CondRV));
+      emit<AssignStmt>(LValue::makeVar(CondVar), std::move(CondRV))
+          ->setLoc(S.Cond->Loc);
       SeqStack.pop_back();
     };
     if (!IsDoWhile)

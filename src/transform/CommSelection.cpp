@@ -10,9 +10,11 @@
 #include "simple/Verifier.h"
 #include "support/FlatSet.h"
 #include "support/Remark.h"
+#include "support/ThreadPool.h"
 
 #include <cassert>
 #include <deque>
+#include <iterator>
 
 using namespace earthcc;
 
@@ -34,17 +36,12 @@ enum class Deref { Yes, No, Transparent };
 class Selector {
 public:
   Selector(Module &M, Function &F, const CommOptions &Opts, Statistics &Stats,
-           RemarkStream *Remarks)
-      : M(M), F(F), Opts(Opts), Stats(Stats), Remarks(Remarks), PT(M),
-        SE(M, PT), PR(runPlacementAnalysis(F, SE, Opts.Placement, Remarks)) {}
+           RemarkStream *Remarks, const PointsToAnalysis &PT,
+           const SideEffects &SE, const PlacementResult &PR)
+      : M(M), F(F), Opts(Opts), Stats(Stats), Remarks(Remarks), PT(PT),
+        SE(SE), PR(PR) {}
 
   void run() {
-    // Observability: the sizes of the placement analysis' tuple sets, the
-    // quantity the paper's Figures 5-7 reason about.
-    for (const auto &[S, Tuples] : PR.BeforeReads)
-      Stats.add("placement.read_tuples", Tuples.size());
-    for (const auto &[S, Tuples] : PR.AfterWrites)
-      Stats.add("placement.write_tuples", Tuples.size());
     if (Opts.EnableWriteBlocking && Opts.EnableBlocking)
       planWritesSeq(F.body());
     processSeq(F.body());
@@ -573,6 +570,7 @@ private:
         // update of the block copy; the blkmov at the sink writes it back.
         WriteGroup *G = It->second;
         std::string FieldName = A.L.FieldName;
+        SourceLoc StoreLoc = S->loc();
         A.L = LValue::makeFieldWrite(G->Block, Off, FieldName);
         Stats.add("select.rewritten_writes");
         Out.push(std::move(S));
@@ -580,9 +578,10 @@ private:
         // (the read may have been hoisted above this store).
         if (const ScalarBinding *SB = LiveScalar.find({Base, Off});
             SB && !SB->TempIsProgramVar) {
-          Out.push(std::make_unique<AssignStmt>(
-              LValue::makeVar(SB->Temp),
-              std::make_unique<OpndRV>(Val)));
+          auto Upd = std::make_unique<AssignStmt>(
+              LValue::makeVar(SB->Temp), std::make_unique<OpndRV>(Val));
+          Upd->setLoc(StoreLoc);
+          Out.push(std::move(Upd));
           Stats.add("select.coherence_updates");
         }
         return;
@@ -592,11 +591,14 @@ private:
       // location — both the block copy and any pipelined scalar copy can
       // outlive each other, so both must track the new value.
       std::string FieldName = A.L.FieldName;
+      SourceLoc StoreLoc = S->loc();
       Out.push(std::move(S));
       if (Var *const *Block = LiveBlock.find(Base)) {
-        Out.push(std::make_unique<AssignStmt>(
+        auto Upd = std::make_unique<AssignStmt>(
             LValue::makeFieldWrite(*Block, Off, FieldName),
-            std::make_unique<OpndRV>(Val)));
+            std::make_unique<OpndRV>(Val));
+        Upd->setLoc(StoreLoc);
+        Out.push(std::move(Upd));
         Stats.add("select.coherence_updates");
       }
       if (const ScalarBinding *SB = LiveScalar.find({Base, Off})) {
@@ -605,9 +607,10 @@ private:
           // The cached program variable no longer matches; drop it.
           LiveScalar.erase({Base, Off});
         } else if (!SB->TempIsProgramVar) {
-          Out.push(std::make_unique<AssignStmt>(
-              LValue::makeVar(SB->Temp),
-              std::make_unique<OpndRV>(Val)));
+          auto Upd = std::make_unique<AssignStmt>(
+              LValue::makeVar(SB->Temp), std::make_unique<OpndRV>(Val));
+          Upd->setLoc(StoreLoc);
+          Out.push(std::move(Upd));
           Stats.add("select.coherence_updates");
         }
       }
@@ -737,9 +740,9 @@ private:
   const CommOptions &Opts;
   Statistics &Stats;
   RemarkStream *Remarks = nullptr;
-  PointsToAnalysis PT;
-  SideEffects SE;
-  PlacementResult PR;
+  const PointsToAnalysis &PT;
+  const SideEffects &SE;
+  const PlacementResult &PR;
 
   std::deque<WriteGroup> Groups;
   std::set<WriteGroup *> ActiveGroups;
@@ -749,7 +752,117 @@ private:
   FlatSet<RCEKey, RCEKeyHash> SelectedWriteKeys;
 };
 
+/// Records the placement tuple-set sizes — the quantity the paper's
+/// Figures 5-7 reason about.
+static void addPlacementStats(const PlacementResult &PR, Statistics &Stats) {
+  for (const auto &[S, Tuples] : PR.BeforeReads)
+    Stats.add("placement.read_tuples", Tuples ? Tuples->size() : 0);
+  for (const auto &[S, Tuples] : PR.AfterWrites)
+    Stats.add("placement.write_tuples", Tuples ? Tuples->size() : 0);
+}
+
+/// Runs \p Fn over [0, N) with the LowerThreads fan-out convention: 1 =
+/// serial on the caller's thread, 0 = all hardware threads.
+template <typename Fn>
+static void forEachIndex(size_t N, unsigned Threads, Fn &&Body) {
+  if (Threads == 0)
+    Threads = ThreadPool::hardwareThreads();
+  size_t Lanes = std::min<size_t>(Threads, N);
+  if (Lanes <= 1) {
+    for (size_t I = 0; I != N; ++I)
+      Body(I);
+    return;
+  }
+  ThreadPool Pool(Lanes);
+  Pool.parallelFor(N, Body);
+}
+
 } // namespace
+
+CommAnalysis::Prepared::Prepared(Module &M) {
+  M.invalidateExecCache(); // The IR is about to change; drop stale bytecode.
+  for (const auto &F : M.functions())
+    F->relabel();
+}
+
+CommAnalysis::CommAnalysis(Module &M, const CommOptions &Opts,
+                           Statistics &Stats, bool EmitRemarks,
+                           unsigned Threads)
+    : Prep(M), PT(M), SE(M, PT) {
+  const auto &Funcs = M.functions();
+  Results.resize(Funcs.size());
+  for (size_t I = 0; I != Funcs.size(); ++I)
+    Index[Funcs[I].get()] = I;
+  // Each worker writes only its own pre-allocated slot; PT/SE are const
+  // after construction.
+  forEachIndex(Funcs.size(), Threads, [&](size_t I) {
+    FuncAnalysis &FA = Results[I];
+    FA.PR = runPlacementAnalysis(*Funcs[I], SE, Opts.Placement,
+                                 EmitRemarks ? &FA.Remarks : nullptr);
+  });
+  for (const FuncAnalysis &FA : Results)
+    addPlacementStats(FA.PR, Stats);
+}
+
+const PlacementResult &CommAnalysis::placement(const Function &F) const {
+  auto It = Index.find(&F);
+  assert(It != Index.end() && "function not covered by this CommAnalysis");
+  return Results[It->second].PR;
+}
+
+const RemarkStream &CommAnalysis::placementRemarks(const Function &F) const {
+  auto It = Index.find(&F);
+  assert(It != Index.end() && "function not covered by this CommAnalysis");
+  return Results[It->second].Remarks;
+}
+
+bool earthcc::selectModuleCommunication(Module &M, CommAnalysis &CA,
+                                        const CommOptions &Opts,
+                                        Statistics &Stats,
+                                        std::vector<std::string> &Errors,
+                                        RemarkStream *Remarks,
+                                        unsigned Threads) {
+  const auto &Funcs = M.functions();
+
+  // Per-function sinks: each rewrite touches only its own function (its
+  // statements, temps and labels), so functions fan out freely; counters,
+  // remarks and errors are buffered and merged in function order below,
+  // making the observable output independent of the thread count.
+  struct FuncOutput {
+    Statistics Stats;
+    RemarkStream Remarks;
+    std::vector<std::string> Errors;
+    bool OK = true;
+  };
+  std::vector<FuncOutput> Outputs(Funcs.size());
+
+  forEachIndex(Funcs.size(), Threads, [&](size_t I) {
+    Function &F = *Funcs[I];
+    FuncOutput &Out = Outputs[I];
+    Selector(M, F, Opts, Out.Stats, Remarks ? &Out.Remarks : nullptr,
+             CA.pointsTo(), CA.sideEffects(), CA.placement(F))
+        .run();
+    Out.OK = verifyFunction(M, F, Out.Errors);
+  });
+
+  bool OK = true;
+  for (size_t I = 0; I != Funcs.size(); ++I) {
+    FuncOutput &Out = Outputs[I];
+    if (Remarks) {
+      // Splice [placement(f), selection(f)] per function — the same
+      // interleaving the serial pipeline historically emitted.
+      for (const Remark &R : CA.placementRemarks(*Funcs[I]).all())
+        Remarks->emit(R);
+      for (const Remark &R : Out.Remarks.all())
+        Remarks->emit(R);
+    }
+    Stats.merge(Out.Stats);
+    Errors.insert(Errors.end(), std::make_move_iterator(Out.Errors.begin()),
+                  std::make_move_iterator(Out.Errors.end()));
+    OK &= Out.OK;
+  }
+  return OK;
+}
 
 bool earthcc::optimizeFunctionCommunication(Module &M, Function &F,
                                             const CommOptions &Opts,
@@ -758,7 +871,11 @@ bool earthcc::optimizeFunctionCommunication(Module &M, Function &F,
                                             RemarkStream *Remarks) {
   M.invalidateExecCache(); // The IR is about to change; drop stale bytecode.
   F.relabel();
-  Selector(M, F, Opts, Stats, Remarks).run();
+  PointsToAnalysis PT(M);
+  SideEffects SE(M, PT);
+  PlacementResult PR = runPlacementAnalysis(F, SE, Opts.Placement, Remarks);
+  addPlacementStats(PR, Stats);
+  Selector(M, F, Opts, Stats, Remarks, PT, SE, PR).run();
   return verifyFunction(M, F, Errors);
 }
 
@@ -766,8 +883,6 @@ bool earthcc::optimizeModuleCommunication(Module &M, const CommOptions &Opts,
                                           Statistics &Stats,
                                           std::vector<std::string> &Errors,
                                           RemarkStream *Remarks) {
-  bool OK = true;
-  for (const auto &F : M.functions())
-    OK &= optimizeFunctionCommunication(M, *F, Opts, Stats, Errors, Remarks);
-  return OK;
+  CommAnalysis CA(M, Opts, Stats, /*EmitRemarks=*/Remarks != nullptr);
+  return selectModuleCommunication(M, CA, Opts, Stats, Errors, Remarks);
 }

@@ -13,6 +13,7 @@
 #include "driver/ProfileReport.h"
 #include "interp/Bytecode.h"
 #include "interp/Lower.h"
+#include "simple/Printer.h"
 #include "support/CommProfiler.h"
 #include "workloads/Workloads.h"
 
@@ -285,6 +286,43 @@ TEST(LowerThreadsTest, PipelineRunsIdenticalAtAnyThreadCount) {
   expectIdentical(A, B, "lower-threads 1 vs 4");
   EXPECT_EQ(A.R.FusedDispatches, B.R.FusedDispatches);
   EXPECT_EQ(A.R.FusedSteps, B.R.FusedSteps);
+}
+
+// The pass-threads contract, pinned the same way the lower-threads one is:
+// the placement/comm-select fan-out is a pure host-speed knob. Every thread
+// count must produce a bit-identical compiled artifact — printed module,
+// remark stream, emitted Threaded-C and the serialized comm profile of a
+// run — for every workload in both program versions.
+TEST(PassThreadsTest, CompileIsBitIdenticalAtAnyThreadCount) {
+  for (const Workload &W : oldenWorkloads()) {
+    for (RunMode Mode : {RunMode::Simple, RunMode::Optimized}) {
+      std::string Printed, Remarks, ThreadedC, Profile;
+      for (unsigned Threads : {1u, 4u, 0u}) {
+        PipelineOptions PO = workloadOptions(Mode);
+        PO.PassThreads = Threads;
+        Pipeline P(PO);
+        CompileResult CR = P.compile(W.smallSource());
+        ASSERT_TRUE(CR.OK) << W.Name << ": " << CR.Messages;
+        EngineRun Run =
+            runWith(P, *CR.M, workloadMachine(Mode, 4), ExecEngine::Bytecode);
+        ASSERT_TRUE(Run.R.OK) << W.Name << ": " << Run.R.Error;
+        std::string What = W.Name +
+                           (Mode == RunMode::Simple ? "/simple" : "/opt") +
+                           "/pass-threads=" + std::to_string(Threads);
+        if (Threads == 1) { // Serial run defines the reference artifact.
+          Printed = printModule(*CR.M);
+          Remarks = CR.Remarks.str();
+          ThreadedC = P.emitThreadedC(*CR.M);
+          Profile = Run.Profile;
+        } else {
+          EXPECT_EQ(Printed, printModule(*CR.M)) << What;
+          EXPECT_EQ(Remarks, CR.Remarks.str()) << What;
+          EXPECT_EQ(ThreadedC, P.emitThreadedC(*CR.M)) << What;
+          EXPECT_EQ(Profile, Run.Profile) << What;
+        }
+      }
+    }
+  }
 }
 
 // The profiler contract: the per-site communication profile is a pure

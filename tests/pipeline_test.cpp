@@ -124,8 +124,9 @@ TEST(PipelineTest, StageReports) {
   Pipeline P(PipelineOptions::optimized());
   CompileResult CR = P.compile(Program);
   ASSERT_TRUE(CR.OK);
-  EXPECT_EQ(stageNames(P), (std::vector<std::string>{"simplify", "verify",
-                                                     "comm-select", "lower"}));
+  EXPECT_EQ(stageNames(P),
+            (std::vector<std::string>{"simplify", "verify", "placement",
+                                      "comm-select", "lower"}));
   for (const StageReport &S : P.stages())
     EXPECT_GT(S.WallNs, 0.0) << S.Name;
 
@@ -149,7 +150,7 @@ TEST(PipelineTest, StageReports) {
   ASSERT_TRUE(LocalityP.compile(Program).OK);
   EXPECT_EQ(stageNames(LocalityP),
             (std::vector<std::string>{"simplify", "verify", "locality",
-                                      "comm-select", "lower"}));
+                                      "placement", "comm-select", "lower"}));
 }
 
 TEST(PipelineTest, ObserverCallbackOrder) {
@@ -160,8 +161,9 @@ TEST(PipelineTest, ObserverCallbackOrder) {
   EXPECT_EQ(Obs.Log,
             (std::vector<std::string>{
                 "start:simplify:nomod", "finish:simplify", "start:verify",
-                "finish:verify", "start:comm-select", "finish:comm-select",
-                "start:lower", "finish:lower"}));
+                "finish:verify", "start:placement", "finish:placement",
+                "start:comm-select", "finish:comm-select", "start:lower",
+                "finish:lower"}));
 
   Obs.Log.clear();
   CompileResult CR = P.compile(Program);
@@ -188,16 +190,20 @@ TEST(PipelineTest, TraceCoversCompileAndRun) {
   RunResult R = P.run(*CR.M, machine(2));
   ASSERT_TRUE(R.OK);
 
-  bool SawPass = false, SawComm = false, SawRunSummary = false;
+  bool SawPass = false, SawPlacement = false, SawComm = false,
+       SawRunSummary = false;
   for (const TraceEvent &E : Sink.events()) {
     if (E.Tid == TraceTidPass && E.Name == "comm-select" && E.Ph == 'X')
       SawPass = true;
+    if (E.Tid == TraceTidPass && E.Name == "placement" && E.Ph == 'X')
+      SawPlacement = true;
     if (E.Name == "read-data" || E.Name == "blkmov")
       SawComm = true;
     if (E.Name == "run:main")
       SawRunSummary = true;
   }
   EXPECT_TRUE(SawPass);
+  EXPECT_TRUE(SawPlacement);
   EXPECT_TRUE(SawComm);
   EXPECT_TRUE(SawRunSummary);
 

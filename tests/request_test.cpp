@@ -63,6 +63,8 @@ TEST(CompileRequestKeyTest, HostOnlyKnobsDoNotPerturbKey) {
   CompileRequest B = A;
   B.LowerThreads = 8; // bit-identical output at any setting
   EXPECT_EQ(A.keyBytes(), B.keyBytes());
+  B.PassThreads = 8; // same contract as LowerThreads
+  EXPECT_EQ(A.keyBytes(), B.keyBytes());
 }
 
 TEST(CompileRequestKeyTest, SourceIsLengthPrefixed) {

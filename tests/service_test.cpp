@@ -90,6 +90,7 @@ TEST(ServiceCompileTest, HitOnIdenticalMissOnDifferentOptions) {
   // A host-only knob is the same artifact.
   CompileRequest MoreThreads = Opt;
   MoreThreads.LowerThreads = 4;
+  MoreThreads.PassThreads = 4;
   EXPECT_TRUE(S.submitCompile(MoreThreads).get().CacheHit);
 
   ServiceStats St = S.stats();
