@@ -125,10 +125,12 @@ std::string writeProgram(int Reps) {
 /// (median-free mean over \p Iters runs after one warmup, which also pays
 /// the one-time bytecode lowering so it is not billed to either engine).
 double hostSimNs(Pipeline &P, const CompileResult &CR, ExecEngine Engine,
-                 int Iters, bool Fuse = true, RunResult *Last = nullptr) {
+                 int Iters, bool Fuse = true, RunResult *Last = nullptr,
+                 BcDispatch Dispatch = defaultDispatch()) {
   MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
   MC.Engine = Engine;
   MC.Fuse = Fuse;
+  MC.Dispatch = Dispatch;
   RunResult Warm = P.run(CR, MC);
   if (!Warm.OK) {
     std::fprintf(stderr, "host-time benchmark failed: %s\n",
@@ -330,6 +332,14 @@ int main(int argc, char **argv) {
       hostSimNs(SimP, SimCR, ExecEngine::Bytecode, SimIters, true, &FusedRun);
   double BcPlainNs =
       hostSimNs(SimP, SimCR, ExecEngine::Bytecode, SimIters, false);
+  // Dispatch axis: the same fused bytecode run under the portable switch
+  // loop. BcNs above used the build default (computed goto where the build
+  // carries it), so on a GCC/Clang build the pair isolates the dispatch
+  // strategy alone.
+  double BcSwitchNs = hostSimNs(SimP, SimCR, ExecEngine::Bytecode, SimIters,
+                                true, nullptr, BcDispatch::Switch);
+  double DispatchSpeedup =
+      (BcSwitchNs > 0 && BcNs > 0) ? BcSwitchNs / BcNs : 0.0;
   double Speedup = (AstNs > 0 && BcNs > 0) ? AstNs / BcNs : 0.0;
   std::printf("\nHost simulation time (health, optimized, 4 nodes, "
               "mean of %d runs):\n"
@@ -345,6 +355,11 @@ int main(int argc, char **argv) {
                   ? 100.0 * FusedRun.FusedSteps / FusedRun.StepsExecuted
                   : 0.0,
               (unsigned long long)FusedRun.StepsExecuted);
+  std::printf("\nBytecode dispatch strategy (same run, fused stream):\n"
+              "  %-17s %10.1f ms\n"
+              "  switch loop       %10.1f ms   (default is %.2fx vs switch)\n",
+              computedGotoAvailable() ? "computed goto" : "switch (default)",
+              BcNs / 1e6, BcSwitchNs / 1e6, DispatchSpeedup);
 
   // Parallel lowering: host time of the lower stage itself, serial vs all
   // hardware threads (identical output — the determinism test pins it).
@@ -512,8 +527,15 @@ int main(int argc, char **argv) {
                   "  \"host_sim_ns\": {\"workload\": \"health\", "
                   "\"mode\": \"optimized\", \"nodes\": 4, "
                   "\"ast\": %.0f, \"bytecode\": %.0f, "
-                  "\"bytecode_unfused\": %.0f, \"speedup\": %.2f},\n",
-                  AstNs, BcNs, BcPlainNs, Speedup);
+                  "\"bytecode_unfused\": %.0f, \"bytecode_switch\": %.0f, "
+                  "\"speedup\": %.2f},\n",
+                  AstNs, BcNs, BcPlainNs, BcSwitchNs, Speedup);
+    Out << Buf;
+    std::snprintf(Buf, sizeof(Buf),
+                  "  \"dispatch\": {\"computed_goto\": %s, "
+                  "\"default_vs_switch_speedup\": %.2f},\n",
+                  computedGotoAvailable() ? "true" : "false",
+                  DispatchSpeedup);
     Out << Buf;
     std::snprintf(Buf, sizeof(Buf),
                   "  \"fused\": {\"dispatches\": %llu, \"steps\": %llu, "

@@ -108,6 +108,7 @@ RunRequest::RunRequest() {
   MachineConfig MC;
   Engine = MC.Engine;
   Fuse = MC.Fuse;
+  Dispatch = MC.Dispatch;
   AllowNullReads = MC.AllowNullReads;
   MaxSteps = MC.MaxSteps;
   EUQuantum = MC.EUQuantum;
@@ -120,6 +121,7 @@ MachineConfig RunRequest::machine() const {
   MC.Costs = Costs;
   MC.Engine = Engine;
   MC.Fuse = Fuse;
+  MC.Dispatch = Dispatch;
   MC.SequentialMode = Sequential;
   MC.AllowNullReads = AllowNullReads;
   MC.MaxSteps = MaxSteps;
@@ -153,6 +155,11 @@ std::string RunRequest::keyBytes() const {
   W.boolean("sequential", Sequential);
   W.integer("engine", static_cast<uint64_t>(Engine));
   W.boolean("fuse", Fuse);
+  // Dispatch is intentionally absent: unlike Engine/Fuse (keyed
+  // conservatively as part of the artifact's identity), the dispatch loop
+  // is a pure host-speed knob on the same bytecode stream — keying it would
+  // split the cache between portable and computed-goto builds of the same
+  // service fleet.
   W.boolean("null-reads", AllowNullReads);
   W.integer("max-steps", MaxSteps);
   W.integer("quantum", EUQuantum);
@@ -253,6 +260,22 @@ const std::vector<RequestOption> &earthcc::requestOptions() {
        [](CompileRequest &, RunRequest &R, const std::string &V,
           std::string &Err) {
          return parseOnOff(V, R.Fuse) ? true : badOnOff("fuse", V, Err);
+       }},
+      {"dispatch", "goto|switch", "EARTHCC_DISPATCH",
+       "bytecode inner-loop dispatch (default goto where the build has "
+       "computed goto; identical simulated results)",
+       [](CompileRequest &, RunRequest &R, const std::string &V,
+          std::string &Err) {
+         if (V == "goto") {
+           R.Dispatch = BcDispatch::ComputedGoto;
+           return true;
+         }
+         if (V == "switch") {
+           R.Dispatch = BcDispatch::Switch;
+           return true;
+         }
+         Err = "unknown dispatch '" + V + "' (goto|switch)";
+         return false;
        }},
       {"lower-threads", "N", nullptr,
        "bytecode-lowering worker threads (0 = all hardware; output is "

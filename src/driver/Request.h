@@ -90,6 +90,13 @@ struct RunRequest {
   ExecEngine Engine;          ///< Execution engine (default: bytecode).
   bool Fuse;                  ///< Superinstruction fusion (host knob, but
                               ///< keyed: see keyBytes()).
+  /// Bytecode inner-loop dispatch (computed goto vs portable switch).
+  /// Host wall-clock knob with bit-identical results — same contract as
+  /// LowerThreads/PassThreads — so it is excluded from keyBytes(): the
+  /// dispatch loop must never change which cached result a request maps
+  /// to, and a request served on a portable build and a computed-goto
+  /// build hits the same cache line.
+  BcDispatch Dispatch;
   bool AllowNullReads;
   uint64_t MaxSteps;
   unsigned EUQuantum;

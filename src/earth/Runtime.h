@@ -129,6 +129,46 @@ struct OpCounters {
 /// statement tree directly and remains as the reference implementation.
 enum class ExecEngine { AST, Bytecode };
 
+/// How the bytecode engine's inner loop dispatches opcodes. Purely a host
+/// performance choice — both loops are generated from the same handler
+/// bodies (interp/BytecodeExecLoop.inc) and produce bit-identical simulated
+/// results, which the engine-equivalence sweep pins across the axis.
+///
+///  - ComputedGoto: direct-threaded dispatch via a label-address handler
+///    table (GCC/Clang `&&label` extension). The default where available.
+///  - Switch: the portable `switch` loop. The only loop compiled in when
+///    the build forces portability (-DEARTHCC_PORTABLE_DISPATCH, see the
+///    CMake option of the same name); requesting ComputedGoto in such a
+///    build silently falls back to Switch.
+enum class BcDispatch { ComputedGoto, Switch };
+
+/// Whether this build carries the computed-goto loop at all (GCC/Clang and
+/// not forced portable). When false, BcDispatch::ComputedGoto degrades to
+/// the switch loop at run time.
+inline constexpr bool computedGotoAvailable() {
+#if !defined(EARTHCC_PORTABLE_DISPATCH) &&                                     \
+    (defined(__GNUC__) || defined(__clang__))
+  return true;
+#else
+  return false;
+#endif
+}
+
+/// Process-wide default for MachineConfig::Dispatch: computed goto where the
+/// build has it, unless the environment sets EARTHCC_DISPATCH=switch. The CI
+/// legs use the variable to sweep whole test-suite runs over one loop
+/// without touching every harness (same pattern as EARTHCC_FUSE).
+inline BcDispatch defaultDispatch() {
+  static const BcDispatch D = [] {
+    const char *E = std::getenv("EARTHCC_DISPATCH");
+    if (E && std::string_view(E) == "switch")
+      return BcDispatch::Switch;
+    return computedGotoAvailable() ? BcDispatch::ComputedGoto
+                                   : BcDispatch::Switch;
+  }();
+  return D;
+}
+
 /// Process-wide default for MachineConfig::Fuse: on, unless the environment
 /// sets EARTHCC_FUSE=off|0. The CI sanitizer leg uses the variable to sweep
 /// the whole test suite over the unfused stream without touching every
@@ -155,6 +195,10 @@ struct MachineConfig {
   /// Off forces the unfused one-instruction-per-step stream (differential
   /// testing). Host-performance choice only.
   bool Fuse = defaultFuseEnabled();
+  /// Bytecode inner-loop dispatch strategy (see BcDispatch). Host
+  /// performance choice only; simulated results are bit-identical across
+  /// both loops.
+  BcDispatch Dispatch = defaultDispatch();
   /// Sequential mode: every access is a plain local access (no EARTH
   /// primitives at all) — the paper's "Sequential C" baseline.
   bool SequentialMode = false;

@@ -19,11 +19,21 @@
 #include "support/CommProfiler.h"
 #include "support/Trace.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <deque>
 #include <memory>
 #include <queue>
+
+// Preprocessor mirror of computedGotoAvailable() (earth/Runtime.h): whether
+// this translation unit compiles the direct-threaded loop at all.
+#if !defined(EARTHCC_PORTABLE_DISPATCH) &&                                     \
+    (defined(__GNUC__) || defined(__clang__))
+#define EARTHCC_HAVE_COMPUTED_GOTO 1
+#else
+#define EARTHCC_HAVE_COMPUTED_GOTO 0
+#endif
 
 using namespace earthcc;
 using namespace earthcc::interp;
@@ -95,7 +105,10 @@ enum class StepStatus { Continue, BlockRetry, YieldAt, WaitJoin, FiberDone };
 class BcInterp {
 public:
   BcInterp(const BytecodeModule &BM, const MachineConfig &Cfg)
-      : BM(BM), Cfg(Cfg), Fuse(Cfg.Fuse), Trc(Cfg.Trace), Prof(Cfg.Profiler),
+      : BM(BM), Cfg(Cfg), Fuse(Cfg.Fuse),
+        Threaded(computedGotoAvailable() &&
+                 Cfg.Dispatch == BcDispatch::ComputedGoto),
+        Trc(Cfg.Trace), Prof(Cfg.Profiler),
         Mem(std::max(1u, Cfg.NumNodes)), EUClock(Mem.numNodes(), 0.0),
         SUClock(Mem.numNodes(), 0.0), LastFiber(Mem.numNodes(), nullptr) {}
 
@@ -195,13 +208,39 @@ private:
     return Val.P;
   }
 
+  /// Hands out a pooled activation image wrapped in a shared_ptr whose
+  /// deleter parks it on the free list instead of freeing: activations are
+  /// created at extreme rates (one per call, one per forall iteration), and
+  /// recycling keeps the slot/avail vector capacity, so a steady-state
+  /// activation allocates only the control block.
+  std::shared_ptr<BcLocals> acquireLocals() {
+    BcLocals *L;
+    if (LocalsFree.empty()) {
+      LocalsArena.emplace_back();
+      L = &LocalsArena.back();
+    } else {
+      L = LocalsFree.back();
+      LocalsFree.pop_back();
+    }
+    return std::shared_ptr<BcLocals>(
+        L, [this](BcLocals *P) { LocalsFree.push_back(P); });
+  }
+
+  /// Pooled copy of an activation image (forall iterations capture the
+  /// driver frame by value).
+  std::shared_ptr<BcLocals> copyLocals(const BcLocals &Src) {
+    auto L = acquireLocals();
+    *L = Src;
+    return L;
+  }
+
   /// Builds the flat activation image of \p BF on \p Node, allocating
   /// memory cells for function-scope shared variables in slot order (the
   /// same order the AST walker's makeLocals allocates them).
   std::shared_ptr<BcLocals> makeLocals(const BytecodeFunction *BF,
                                        unsigned Node) {
-    auto L = std::make_shared<BcLocals>();
-    L->Words.resize(BF->FrameWords);
+    auto L = acquireLocals();
+    L->Words.assign(BF->FrameWords, RtValue());
     L->Avail.assign(BF->Slots.size(), 0.0);
     // SharedCellOffs lists the shared-variable cells in slot order — the
     // same allocation order the per-slot scan (and the AST walker's
@@ -277,9 +316,28 @@ private:
 
   void schedule(Fiber *F, double T) { Q.push({T, ++EventSeq, F}); }
 
+  /// Step budget for a fused dispatch: how many consecutive steps could run
+  /// before the quantum check would preempt (StepsThisRun + k <= EUQuantum)
+  /// or the fuel check would fire (Steps + k - 1 <= MaxSteps; the step that
+  /// reached the fused opcode is already billed). A superinstruction that
+  /// cannot fit executes only the steps that do, so preemption and fuel
+  /// exhaustion land on exactly the same step as unfused stepping. Only the
+  /// fused handlers consult this, so it is computed there, not per step.
+  unsigned fusedBudget(unsigned StepsThisRun) const {
+    uint64_t FuelLeft = Cfg.MaxSteps - Steps + 1;
+    uint64_t QuantumLeft =
+        Cfg.EUQuantum ? Cfg.EUQuantum - StepsThisRun : FuelLeft;
+    return static_cast<unsigned>(
+        std::min<uint64_t>(std::min(FuelLeft, QuantumLeft), 0xffffffffu));
+  }
+
   Fiber *newFiber() {
     Fibers.push_back(std::make_unique<Fiber>());
     Fibers.back()->Id = Fibers.size();
+    // Growing the frame stack move-constructs every frame below (two
+    // refcount bumps per frame for the Locals image); one up-front reserve
+    // covers the call depths the workloads actually reach.
+    Fibers.back()->Stack.reserve(8);
     return Fibers.back().get();
   }
 
@@ -924,308 +982,28 @@ private:
   }
 
   //===--------------------------------------------------------------------===
-  // Instruction dispatch: one instruction == one AST-walker step. Fused
-  // superinstructions (fused stream only) may take up to \p Budget steps in
-  // one dispatch and report the count through \p Taken.
+  // Fiber run loop (BytecodeExecLoop.inc). The loop body — step accounting
+  // plus one handler per opcode, one instruction == one AST-walker step,
+  // fused superinstructions taking up to Budget steps per dispatch — is
+  // written once in the .inc and expanded below the class as two methods:
+  // the portable switch loop and, where the build carries it, the
+  // direct-threaded computed-goto loop. Selection is per-run (Cfg.Dispatch);
+  // both loops produce bit-identical simulated results.
   //===--------------------------------------------------------------------===
 
-  StepStatus step(Fiber *F, double &Now, double &BlockTime, unsigned Budget,
-                  unsigned &Taken) {
-    if (F->Stack.empty()) {
-      finishFiber(F, Now, 0);
-      return StepStatus::FiberDone;
-    }
-    BcFrame &Fr = F->Stack.back();
-    const BcInsn &I =
-        (Fuse && !Fr.BF->FusedCode.empty() ? Fr.BF->FusedCode
-                                           : Fr.BF->Code)[Fr.PC];
-    switch (I.Op) {
-    case BcOp::Assign: {
-      StepStatus St = execAssign(Fr, I, Now, BlockTime);
-      if (St != StepStatus::BlockRetry)
-        ++Fr.PC;
-      return St;
-    }
-    case BcOp::BlkMov: {
-      StepStatus St = execBlkMov(Fr, I, Now, BlockTime);
-      if (St != StepStatus::BlockRetry)
-        ++Fr.PC;
-      return St;
-    }
-    case BcOp::Atomic: {
-      StepStatus St = execAtomic(Fr, I, Now, BlockTime);
-      if (St != StepStatus::BlockRetry)
-        ++Fr.PC;
-      return St;
-    }
-    case BcOp::Call:
-      return execCall(F, Fr, I, Now, BlockTime); // Advances PC itself.
-    case BcOp::Return:
-      return execReturn(F, Fr, I, Now, BlockTime);
-    case BcOp::ImplicitRet:
-      return popFrame(F, Now, nullptr, BlockTime);
-
-    case BcOp::Enter:
-    case BcOp::EndCompound:
-      ++Fr.PC;
-      return StepStatus::Continue;
-    case BcOp::EndSeq:
-      Fr.PC = I.A;
-      return StepStatus::Continue;
-
-    case BcOp::Br: {
-      double Need = condAvail(Fr, I);
-      if (Need > Now) {
-        BlockTime = Need;
-        return StepStatus::BlockRetry;
-      }
-      Now += cost().StmtCost;
-      Fr.PC = condValue(Fr, I).truthy() ? Fr.PC + 1 : I.A;
-      return StepStatus::Continue;
-    }
-    case BcOp::LoopCond: {
-      double Need = condAvail(Fr, I);
-      if (Need > Now) {
-        BlockTime = Need;
-        return StepStatus::BlockRetry;
-      }
-      Now += cost().StmtCost;
-      Fr.PC = condValue(Fr, I).truthy() ? I.A : I.B;
-      return StepStatus::Continue;
-    }
-    case BcOp::Switch: {
-      double Need = availOf(Fr, I.X);
-      if (Need > Now) {
-        BlockTime = Need;
-        return StepStatus::BlockRetry;
-      }
-      Now += cost().StmtCost;
-      int64_t V = valueOf(Fr, I.X).I;
-      int32_t Target = I.A;
-      const auto *Cases = Fr.BF->CasePool.data() + I.B;
-      for (uint32_t J = 0; J != I.Words; ++J)
-        if (Cases[J].first == V) {
-          Target = Cases[J].second;
-          break;
-        }
-      Fr.PC = Target;
-      return StepStatus::Continue;
-    }
-
-    case BcOp::ParSpawn: {
-      auto Join = std::make_shared<JoinCtx>();
-      Join->Outstanding = static_cast<int>(I.Words);
-      Fr.Joins.push_back(Join);
-      ++Fr.PC;
-      const int32_t *Branches = Fr.BF->BranchPool.data() + I.B;
-      for (uint32_t J = 0; J != I.Words; ++J) {
-        Fiber *Child = newFiber();
-        Child->ParentJoin = Join;
-        BcFrame BFr;
-        BFr.BF = Fr.BF;
-        BFr.Node = Fr.Node;
-        BFr.Locals = Fr.Locals; // Branches share the activation locals.
-        BFr.PC = Branches[J];
-        Child->Stack.push_back(std::move(BFr));
-        if (!Cfg.SequentialMode) {
-          Now += cost().SpawnCost;
-          ++Ctr.Spawns;
-          if (Trc)
-            traceInstant("spawn", "fiber", Now, Fr.Node, TraceTidEU,
-                         {{"child", Child->Id}});
-        }
-        schedule(Child, Now);
-      }
-      return StepStatus::Continue;
-    }
-    case BcOp::Join: {
-      std::shared_ptr<JoinCtx> &Join = Fr.Joins.back();
-      if (Join->Outstanding == 0) {
-        Now = std::max(Now, Join->LatestEnd);
-        Fr.Joins.pop_back();
-        ++Fr.PC;
-        return StepStatus::Continue;
-      }
-      Join->Waiter = F;
-      return StepStatus::WaitJoin;
-    }
-    case BcOp::ForallInit:
-      Fr.Joins.push_back(std::make_shared<JoinCtx>());
-      ++Fr.PC;
-      return StepStatus::Continue;
-    case BcOp::ForallCond: {
-      double Need = condAvail(Fr, I);
-      if (Need > Now) {
-        BlockTime = Need;
-        return StepStatus::BlockRetry;
-      }
-      Now += cost().StmtCost;
-      if (!condValue(Fr, I).truthy()) {
-        Fr.PC = I.B;
-        return StepStatus::Continue;
-      }
-      Fiber *Child = newFiber();
-      Child->ParentJoin = Fr.Joins.back();
-      ++Fr.Joins.back()->Outstanding;
-      BcFrame BFr;
-      BFr.BF = Fr.BF;
-      BFr.Node = Fr.Node;
-      // Each iteration captures the driver's variables by value.
-      BFr.Locals = std::make_shared<BcLocals>(*Fr.Locals);
-      BFr.PC = I.A;
-      Child->Stack.push_back(std::move(BFr));
-      if (!Cfg.SequentialMode) {
-        Now += cost().SpawnCost;
-        ++Ctr.Spawns;
-        if (Trc)
-          traceInstant("spawn", "fiber", Now, Fr.Node, TraceTidEU,
-                       {{"child", Child->Id}});
-      }
-      schedule(Child, Now);
-      ++Fr.PC; // Fall into the Step region.
-      return StepStatus::Continue;
-    }
-
-    case BcOp::FusedEndLoop: {
-      if (!Fuse)
-        fail("fused opcode reached with fusion disabled");
-      // Step 1 — the loop body's sequence pop (EndSeq): jump to the
-      // condition.
-      Fr.PC = I.A;
-      if (Budget < 2)
-        return StepStatus::Continue; // Quantum/fuel edge: plain LoopCond next.
-      // Step 2 — the compare-and-branch, from the (plain) LoopCond payload
-      // still sitting at the jump target.
-      const BcInsn &Cond = Fr.BF->Code[I.A];
-      double Need = condAvail(Fr, Cond);
-      if (Need > Now)
-        return StepStatus::Continue; // Not available: plain LoopCond retries.
-      Now += cost().StmtCost;
-      Fr.PC = condValue(Fr, Cond).truthy() ? Cond.A : Cond.B;
-      Taken = 2;
-      ++FusedDispatches;
-      FusedSteps += 2;
-      return StepStatus::Continue;
-    }
-    case BcOp::FusedAssignRun: {
-      if (!Fuse)
-        fail("fused opcode reached with fusion disabled");
-      // Head of a Words-step run of pure slot-to-slot assigns. The head
-      // carries its own payload; tail steps read the plain instructions
-      // that still follow in the unfused positions.
-      const int32_t Base = Fr.PC;
-      const unsigned K = std::min(I.Words, Budget);
-      double Need = 0.0;
-      if (!execSimpleAssignStep(Fr, I, Now, Need)) {
-        BlockTime = Need; // Head not available: exactly a plain Assign block.
-        return StepStatus::BlockRetry;
-      }
-      unsigned Done = 1;
-      while (Done != K &&
-             execSimpleAssignStep(Fr, Fr.BF->Code[Base + Done], Now, Need))
-        ++Done;
-      Fr.PC = Base + static_cast<int32_t>(Done);
-      Taken = Done;
-      if (Done > 1) {
-        ++FusedDispatches;
-        FusedSteps += Done;
-      }
-      return StepStatus::Continue;
-    }
-    case BcOp::FusedEnterRun: {
-      if (!Fuse)
-        fail("fused opcode reached with fusion disabled");
-      // Words consecutive Enter steps: each is a pure PC bump (no clock, no
-      // blocking, no state), so the whole run is one batched advance. When
-      // the budget is smaller, the remaining Enters dispatch plainly (a
-      // shorter fused head or a plain Enter sits at the landing PC).
-      const unsigned Done = std::min(I.Words, Budget);
-      Fr.PC += static_cast<int32_t>(Done);
-      Taken = Done;
-      if (Done > 1) {
-        ++FusedDispatches;
-        FusedSteps += Done;
-      }
-      return StepStatus::Continue;
-    }
-    }
-    fail("bad opcode");
-  }
-
-  //===--------------------------------------------------------------------===
-  // Fiber run loop (verbatim mirror of the AST walker's runFiber).
-  //===--------------------------------------------------------------------===
+  void runFiberSwitch(Fiber *F, double T);
+#if EARTHCC_HAVE_COMPUTED_GOTO
+  void runFiberThreaded(Fiber *F, double T);
+#endif
 
   void runFiber(Fiber *F, double T) {
-    if (F->Done)
+#if EARTHCC_HAVE_COMPUTED_GOTO
+    if (Threaded) {
+      runFiberThreaded(F, T);
       return;
-    unsigned Node = F->Stack.empty() ? 0 : F->Stack.back().Node;
-    double Now = std::max(T, EUClock[Node]);
-    if (LastFiber[Node] != F && LastFiber[Node] != nullptr &&
-        !Cfg.SequentialMode) {
-      if (Trc)
-        traceInstant("ctx-switch", "eu", Now, Node, TraceTidEU,
-                     {{"fiber", F->Id}});
-      Now += cost().CtxSwitch;
-      ++Ctr.CtxSwitches;
     }
-    LastFiber[Node] = F;
-    const double SliceStart = Now;
-    auto endSlice = [&](double End) {
-      if (Trc && End > SliceStart) {
-        traceSpan("eu-run", "eu", SliceStart, End - SliceStart, Node,
-                  TraceTidEU, {{"fiber", F->Id}});
-        traceClock("eu-clock", End, Node, TraceTidEU, EUClock[Node]);
-      }
-    };
-
-    for (unsigned StepsThisRun = 0;; ++StepsThisRun) {
-      if (++Steps > Cfg.MaxSteps)
-        fail("step limit exceeded (infinite loop?)");
-      unsigned NodeBefore = F->Stack.empty() ? Node : F->Stack.back().Node;
-      if (Cfg.EUQuantum && StepsThisRun >= Cfg.EUQuantum) {
-        endSlice(Now);
-        schedule(F, Now);
-        return;
-      }
-      // Step budget for a fused dispatch: how many consecutive steps could
-      // run before the quantum check would preempt (StepsThisRun + k <=
-      // EUQuantum) or the fuel check would fire (Steps + k - 1 <= MaxSteps;
-      // ++Steps above already billed the first). A superinstruction that
-      // cannot fit executes only the steps that do, so preemption and
-      // fuel exhaustion land on exactly the same step as unfused stepping.
-      unsigned Budget = 1;
-      if (Fuse) {
-        uint64_t FuelLeft = Cfg.MaxSteps - Steps + 1;
-        uint64_t QuantumLeft =
-            Cfg.EUQuantum ? Cfg.EUQuantum - StepsThisRun : FuelLeft;
-        Budget = static_cast<unsigned>(
-            std::min<uint64_t>(std::min(FuelLeft, QuantumLeft), 0xffffffffu));
-      }
-      double BlockTime = 0.0;
-      unsigned Taken = 1;
-      StepStatus St = step(F, Now, BlockTime, Budget, Taken);
-      if (Taken > 1) { // Steps 2..Taken of a fused dispatch.
-        Steps += Taken - 1;
-        StepsThisRun += Taken - 1;
-      }
-      EUClock[NodeBefore] = std::max(EUClock[NodeBefore], Now);
-      switch (St) {
-      case StepStatus::Continue:
-        continue;
-      case StepStatus::BlockRetry:
-      case StepStatus::YieldAt:
-        endSlice(Now);
-        LastFiber[NodeBefore] = nullptr;
-        schedule(F, std::max(BlockTime, Now));
-        return;
-      case StepStatus::WaitJoin:
-      case StepStatus::FiberDone:
-        endSlice(Now);
-        LastFiber[NodeBefore] = nullptr;
-        return;
-      }
-    }
+#endif
+    runFiberSwitch(F, T);
   }
 
   //===--------------------------------------------------------------------===
@@ -1235,6 +1013,9 @@ private:
   const BytecodeModule &BM;
   MachineConfig Cfg;
   const bool Fuse; ///< Dispatch FusedCode instead of Code (Cfg.Fuse).
+  /// Run the computed-goto loop (Cfg.Dispatch, degraded to the switch loop
+  /// when the build lacks it).
+  const bool Threaded;
   TraceSink *Trc = nullptr;
   CommProfiler *Prof = nullptr;
   EarthMemory Mem;
@@ -1242,6 +1023,12 @@ private:
   std::vector<double> EUClock;
   std::vector<double> SUClock;
   std::vector<Fiber *> LastFiber;
+  /// BcLocals recycling pool (see acquireLocals). The deque owns every
+  /// image ever handed out (stable addresses); the free list holds the
+  /// currently unreferenced ones. Declared ahead of Q/Fibers so the pool
+  /// outlives every frame whose release can still park into it.
+  std::deque<BcLocals> LocalsArena;
+  std::vector<BcLocals *> LocalsFree;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Q;
   uint64_t EventSeq = 0;
   std::deque<std::unique_ptr<Fiber>> Fibers;
@@ -1255,6 +1042,22 @@ private:
   double EndTime = 0.0;
   RtValue ExitVal;
 };
+
+// Expand the shared loop body as the portable switch loop, and — where the
+// build carries computed goto — again as the direct-threaded loop.
+#define EARTHCC_RUNFIBER_NAME runFiberSwitch
+#define EARTHCC_DISPATCH_THREADED 0
+#include "interp/BytecodeExecLoop.inc"
+#undef EARTHCC_RUNFIBER_NAME
+#undef EARTHCC_DISPATCH_THREADED
+
+#if EARTHCC_HAVE_COMPUTED_GOTO
+#define EARTHCC_RUNFIBER_NAME runFiberThreaded
+#define EARTHCC_DISPATCH_THREADED 1
+#include "interp/BytecodeExecLoop.inc"
+#undef EARTHCC_RUNFIBER_NAME
+#undef EARTHCC_DISPATCH_THREADED
+#endif
 
 RunResult BcInterp::run(const std::string &Entry,
                         const std::vector<RtValue> &Args) {

@@ -114,6 +114,35 @@ enum class BcOp : uint8_t {
 /// access" diagnostic when they dispatch one; fusion and backends skip it.
 constexpr uint8_t BcBadCondRK = 0xff;
 
+/// How a Switch instruction locates its target at execution time. Lowering
+/// annotates every Switch (BcInsn::Sub) after the case targets are patched;
+/// all three strategies compute the same target as the AST walker's
+/// first-match linear scan over the source-ordered cases, which stays the
+/// observable contract (duplicate case values: first wins).
+///
+/// The execution structures (JumpPool / JumpTables / SortedCasePool) are
+/// strictly additive: CasePool keeps the cases in source order with the
+/// original A/B/Words encoding, because the backends (BackendView,
+/// codegen/ThreadedC) decode the construct from it and their emitted text
+/// must not depend on how the engine dispatches.
+enum class BcSwitchMode : uint8_t {
+  Linear = 0, ///< Scan CasePool[B .. B+Words) in source order (also the
+              ///< default-only Words == 0 case, where the scan is empty).
+  Dense,      ///< Bounds-check against JumpTables[Dst], then one indexed
+              ///< load from JumpPool (-1 entries mean the default target).
+  Sorted,     ///< Binary search SortedCasePool[Dst .. Dst+Off) by value.
+};
+
+/// One dense-range jump table: case values [Lo, Lo + Size) map to
+/// JumpPool[Begin .. Begin + Size), holes holding -1 (default target).
+struct BcJumpTable {
+  int64_t Lo = 0;     ///< Smallest case value in the table.
+  uint32_t Begin = 0; ///< First entry in BytecodeFunction::JumpPool.
+  uint32_t Size = 0;  ///< Dense span (largest - smallest + 1).
+
+  bool operator==(const BcJumpTable &) const = default;
+};
+
 /// Construct tag carried by every BcOp::Enter instruction: which structured
 /// construct the entered region belongs to. The execution engines ignore it
 /// (Enter is a pure fall-through step either way); backends use it to decode
@@ -185,6 +214,15 @@ struct BytecodeFunction {
   std::vector<BcOperand> ArgPool; ///< Call argument lists.
   std::vector<std::pair<int64_t, int32_t>> CasePool; ///< Switch cases.
   std::vector<int32_t> BranchPool; ///< Parallel-sequence branch entries.
+
+  /// Switch dispatch acceleration (see BcSwitchMode). Built per function by
+  /// lowerModule after case targets are patched; CasePool above stays the
+  /// backends' source-ordered ground truth.
+  std::vector<BcJumpTable> JumpTables; ///< Dense switches, by BcInsn::Dst.
+  std::vector<int32_t> JumpPool;       ///< Dense targets; -1 = default.
+  /// Sparse switches: (value, target) deduplicated first-wins and sorted by
+  /// value; a Sorted switch's run is [Dst, Dst + Off).
+  std::vector<std::pair<int64_t, int32_t>> SortedCasePool;
 
   /// The superinstruction stream: Code with fusable pattern heads rewritten
   /// to Fused* opcodes (same length, same jump targets; non-head members of

@@ -26,7 +26,10 @@
 //   Br       cond in RK/Sub/X/Y; A = else target.
 //   LoopCond cond in RK/Sub/X/Y; A = true target, B = false target.
 //   Switch   X = scrutinee; A = default target; B = CasePool begin,
-//            Words = case count.
+//            Words = case count. After buildSwitchDispatch: Sub =
+//            BcSwitchMode; Dense uses Dst = JumpTables index, Sorted uses
+//            Dst = SortedCasePool begin with Off = deduplicated entry
+//            count. CasePool itself stays in source order (backends).
 //   EndSeq   A = jump target.
 //   ParSpawn B = BranchPool begin, Words = branch count.
 //   ForallCond cond in RK/Sub/X/Y; A = body fiber entry, B = join target.
@@ -537,6 +540,72 @@ void buildFusedStream(BytecodeFunction &BF) {
   }
 }
 
+/// Dense-table policy: a switch's deduplicated values get a jump table when
+/// the value span wastes at most 3 holes per case (span <= 4 * cases) and
+/// the table stays small in absolute terms; everything else binary-searches
+/// a sorted copy. Duplicate case values keep the first occurrence, matching
+/// the source-order linear scan the engines are specified against.
+constexpr uint64_t MaxJumpTableSpan = 4096;
+
+/// Annotates every Switch in BF.Code with its execution strategy
+/// (BcSwitchMode in Sub) and builds the side tables. Runs after the
+/// function's body is fully lowered — case targets in CasePool are final —
+/// and before buildFusedStream, so FusedCode copies the annotated form.
+/// Purely per-function and deterministic, so the parallel lowering fan-out
+/// keeps its bit-identical-output contract.
+void buildSwitchDispatch(BytecodeFunction &BF) {
+  for (BcInsn &I : BF.Code) {
+    if (I.Op != BcOp::Switch)
+      continue;
+    I.Sub = static_cast<uint8_t>(BcSwitchMode::Linear);
+    if (I.Words == 0)
+      continue; // Default-only: the empty linear scan is already optimal.
+
+    // Deduplicate first-wins in source order, then sort by value.
+    std::vector<std::pair<int64_t, int32_t>> Unique;
+    Unique.reserve(I.Words);
+    for (uint32_t CI = 0; CI != I.Words; ++CI) {
+      const auto &Case = BF.CasePool[I.B + CI];
+      bool Seen = false;
+      for (const auto &U : Unique)
+        if (U.first == Case.first) {
+          Seen = true;
+          break;
+        }
+      if (!Seen)
+        Unique.push_back(Case);
+    }
+    std::sort(Unique.begin(), Unique.end());
+
+    const int64_t Lo = Unique.front().first;
+    const int64_t Hi = Unique.back().first;
+    // Unsigned subtraction gives the correct span even across INT64 bounds;
+    // Span == 0 then means the full 2^64 range (never dense).
+    const uint64_t Span =
+        static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    if (Unique.size() >= 2 && Span != 0 && Span <= MaxJumpTableSpan &&
+        Span <= 4 * Unique.size()) {
+      I.Sub = static_cast<uint8_t>(BcSwitchMode::Dense);
+      I.Dst = static_cast<int32_t>(BF.JumpTables.size());
+      BcJumpTable T;
+      T.Lo = Lo;
+      T.Begin = static_cast<uint32_t>(BF.JumpPool.size());
+      T.Size = static_cast<uint32_t>(Span);
+      BF.JumpPool.resize(BF.JumpPool.size() + Span, -1);
+      for (const auto &U : Unique)
+        BF.JumpPool[T.Begin + static_cast<uint64_t>(U.first) -
+                    static_cast<uint64_t>(Lo)] = U.second;
+      BF.JumpTables.push_back(T);
+    } else {
+      I.Sub = static_cast<uint8_t>(BcSwitchMode::Sorted);
+      I.Dst = static_cast<int32_t>(BF.SortedCasePool.size());
+      I.Off = static_cast<uint32_t>(Unique.size());
+      BF.SortedCasePool.insert(BF.SortedCasePool.end(), Unique.begin(),
+                               Unique.end());
+    }
+  }
+}
+
 /// Fills the lowering-time inline caches (param word offsets, shared-cell
 /// offsets) from the finished frame layout.
 void buildLayoutCaches(BytecodeFunction &BF) {
@@ -606,6 +675,7 @@ std::shared_ptr<const BytecodeModule> earthcc::lowerModule(const Module &M,
   auto LowerOne = [&BM, &Sites](size_t I) {
     BytecodeFunction &BF = *BM->Funcs[I];
     FunctionLowering(*BM, BF, Sites).run();
+    buildSwitchDispatch(BF);
     buildFusedStream(BF);
   };
   if (Threads == 0)

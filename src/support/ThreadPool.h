@@ -90,14 +90,26 @@ public:
 
   /// Runs Body(0) .. Body(Count-1) across the pool and waits. Each index is
   /// claimed by exactly one worker; results keyed by index are therefore
-  /// deterministic no matter how the workers interleave.
+  /// deterministic no matter how the workers interleave. Once any body
+  /// throws, no lane claims another index (indices already claimed still
+  /// finish), so a failing run stops promptly instead of grinding through
+  /// the remaining indices; wait() rethrows the first exception as usual.
   void parallelFor(size_t Count, const std::function<void(size_t)> &Body) {
     std::atomic<size_t> Next{0};
+    std::atomic<bool> Failed{false};
     size_t Lanes = std::min<size_t>(Count, numThreads());
     for (size_t L = 0; L != Lanes; ++L)
-      run([&Next, Count, &Body] {
-        for (size_t I = Next.fetch_add(1); I < Count; I = Next.fetch_add(1))
-          Body(I);
+      run([&Next, &Failed, Count, &Body] {
+        for (size_t I = Next.fetch_add(1);
+             I < Count && !Failed.load(std::memory_order_relaxed);
+             I = Next.fetch_add(1)) {
+          try {
+            Body(I);
+          } catch (...) {
+            Failed.store(true, std::memory_order_relaxed);
+            throw; // wait() reports it as FirstError.
+          }
+        }
       });
     wait();
   }

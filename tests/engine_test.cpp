@@ -32,14 +32,17 @@ struct EngineRun {
 };
 
 /// Runs \p M under \p Engine with a fresh trace sink and profiler attached.
-/// \p Fuse selects the bytecode engine's superinstruction stream (ignored
-/// by the AST engine).
+/// \p Fuse selects the bytecode engine's superinstruction stream and
+/// \p Dispatch its inner loop (both ignored by the AST engine; on a build
+/// without computed goto, ComputedGoto degrades to the switch loop).
 EngineRun runWith(Pipeline &P, const Module &M, MachineConfig MC,
-                  ExecEngine Engine, bool Fuse = true) {
+                  ExecEngine Engine, bool Fuse = true,
+                  BcDispatch Dispatch = defaultDispatch()) {
   ChromeTraceSink Sink;
   CommProfiler Prof;
   MC.Engine = Engine;
   MC.Fuse = Fuse;
+  MC.Dispatch = Dispatch;
   MC.Trace = &Sink;
   MC.Profiler = &Prof;
   RunResult R = P.run(M, MC);
@@ -81,11 +84,12 @@ protected:
   }
 
   /// Compiles \p Source once per mode and sweeps 1/2/4 nodes, comparing
-  /// the AST engine against the bytecode engine with fusion on AND off at
-  /// every configuration. Fused dispatch counts are host metrics, so they
-  /// are deliberately outside expectIdentical — but the sweep does assert
-  /// the fused stream actually fused something (on) and that the unfused
-  /// stream never dispatches a superinstruction (off).
+  /// the AST engine against the bytecode engine with fusion on AND off and
+  /// under both dispatch loops at every configuration. Fused dispatch
+  /// counts are host metrics, so they are deliberately outside
+  /// expectIdentical — but the sweep does assert the fused stream actually
+  /// fused something (on) and that the unfused stream never dispatches a
+  /// superinstruction (off).
   void sweep(const std::string &Source, const std::string &SizeTag) {
     uint64_t FusedDispatches = 0;
     for (RunMode Mode : {RunMode::Simple, RunMode::Optimized}) {
@@ -101,12 +105,24 @@ protected:
         auto BcFused = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
         auto BcPlain =
             runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/false);
+        // Dispatch axis: the default above is computed goto where the build
+        // carries it; the explicit switch-loop runs pin both loops to the
+        // same bits (they collapse to the same loop on a portable build).
+        auto BcSwFused = runWith(P, *CR.M, MC, ExecEngine::Bytecode,
+                                 /*Fuse=*/true, BcDispatch::Switch);
+        auto BcSwPlain = runWith(P, *CR.M, MC, ExecEngine::Bytecode,
+                                 /*Fuse=*/false, BcDispatch::Switch);
         expectIdentical(Ast, BcFused, What + "/fuse=on");
         expectIdentical(Ast, BcPlain, What + "/fuse=off");
+        expectIdentical(Ast, BcSwFused, What + "/fuse=on/dispatch=switch");
+        expectIdentical(Ast, BcSwPlain, What + "/fuse=off/dispatch=switch");
         EXPECT_EQ(Ast.R.FusedDispatches, 0u) << What;
         EXPECT_EQ(BcPlain.R.FusedDispatches, 0u) << What;
         EXPECT_GE(BcFused.R.FusedSteps, 2 * BcFused.R.FusedDispatches)
             << What << ": a fused dispatch covers at least two steps";
+        EXPECT_EQ(BcFused.R.FusedDispatches, BcSwFused.R.FusedDispatches)
+            << What << ": fused dispatch counts diverge across loops";
+        EXPECT_EQ(BcFused.R.FusedSteps, BcSwFused.R.FusedSteps) << What;
         FusedDispatches += BcFused.R.FusedDispatches;
       }
     }
@@ -149,12 +165,16 @@ TEST_P(EngineEquivalenceTest, QuantumSweep) {
     auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
     auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
     auto BcPlain = runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/false);
+    auto BcSw = runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/true,
+                        BcDispatch::Switch);
     expectIdentical(Ast, Bc, What + "/fuse=on");
     expectIdentical(Ast, BcPlain, What + "/fuse=off");
+    expectIdentical(Ast, BcSw, What + "/dispatch=switch");
     // A one-step quantum leaves no budget for a multi-step dispatch: every
     // superinstruction must fall back to single-stepping.
-    if (Quantum == 1)
+    if (Quantum == 1) {
       EXPECT_EQ(Bc.R.FusedDispatches, 0u) << What;
+    }
   }
 }
 
@@ -250,6 +270,9 @@ TEST(LowerThreadsTest, ParallelLoweringIsDeterministic) {
       EXPECT_EQ(A.SharedCellOffs, B.SharedCellOffs) << What;
       EXPECT_EQ(A.CasePool, B.CasePool) << What;
       EXPECT_EQ(A.BranchPool, B.BranchPool) << What;
+      EXPECT_EQ(A.JumpTables, B.JumpTables) << What;
+      EXPECT_EQ(A.JumpPool, B.JumpPool) << What;
+      EXPECT_EQ(A.SortedCasePool, B.SortedCasePool) << What;
       ASSERT_EQ(A.Slots.size(), B.Slots.size()) << What;
       for (size_t S = 0; S != A.Slots.size(); ++S) {
         EXPECT_EQ(A.Slots[S].WordOff, B.Slots[S].WordOff) << What;
@@ -405,5 +428,227 @@ TEST(EngineErrorTest, IdenticalDiagnostics) {
     EXPECT_EQ(SA.json(), SB.json()) << Entry;
   }
 }
+
+
+//===----------------------------------------------------------------------===//
+// Switch dispatch: lowering-mode selection and edge semantics. The observable
+// contract is the AST walker's first-match scan over the source-ordered
+// cases; these tests pin it across dense jump tables, sorted fallback and
+// the linear path, under both dispatch loops and both streams.
+//===----------------------------------------------------------------------===//
+
+/// The BcSwitchMode annotation of the single Switch instruction in \p Fn,
+/// asserting the fused stream carries the same annotation.
+BcSwitchMode switchModeOf(const Module &M, const std::string &Fn) {
+  const BytecodeModule &BM = getOrLowerBytecode(M);
+  for (const auto &BF : BM.Funcs) {
+    if (BF->Fn->name() != Fn)
+      continue;
+    for (size_t I = 0; I != BF->Code.size(); ++I) {
+      if (BF->Code[I].Op != BcOp::Switch)
+        continue;
+      if (!BF->FusedCode.empty()) {
+        EXPECT_EQ(BF->FusedCode[I].Op, BcOp::Switch) << Fn;
+        EXPECT_EQ(BF->FusedCode[I].Sub, BF->Code[I].Sub)
+            << Fn << ": fused stream lost the dispatch annotation";
+      }
+      return static_cast<BcSwitchMode>(BF->Code[I].Sub);
+    }
+  }
+  ADD_FAILURE() << "no Switch instruction lowered in " << Fn;
+  return BcSwitchMode::Linear;
+}
+
+/// Compiles (unoptimized) and runs \p Src under the AST walker and the
+/// bytecode engine at {fuse on/off} x {goto/switch}, asserting all five
+/// runs are indistinguishable; returns the compile for lowering checks
+/// plus the agreed exit value via \p Exit.
+CompileResult runSwitchProgram(const std::string &Src, const std::string &What,
+                               int64_t &Exit) {
+  Pipeline P(PipelineOptions::simple());
+  CompileResult CR = P.compile(Src);
+  EXPECT_TRUE(CR.OK) << What << ": " << CR.Messages;
+  if (!CR.OK)
+    return CR;
+  MachineConfig MC;
+  MC.NumNodes = 2;
+  auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
+  EXPECT_TRUE(Ast.R.OK) << What << ": " << Ast.R.Error;
+  for (bool Fuse : {true, false})
+    for (BcDispatch D : {BcDispatch::ComputedGoto, BcDispatch::Switch}) {
+      auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode, Fuse, D);
+      expectIdentical(Ast, Bc,
+                      What + "/fuse=" + (Fuse ? "on" : "off") + "/dispatch=" +
+                          (D == BcDispatch::ComputedGoto ? "goto" : "switch"));
+    }
+  Exit = Ast.R.ExitValue.I;
+  return CR;
+}
+
+TEST(SwitchDispatchTest, DenseContiguousRangeUsesJumpTable) {
+  int64_t Exit = 0;
+  CompileResult CR = runSwitchProgram(R"(
+    int pick(int q) {
+      int r;
+      switch (q) {
+      case 0: r = 1; break;
+      case 1: r = 2; break;
+      case 2: r = 4; break;
+      case 3: r = 8; break;
+      case 4: r = 16; break;
+      case 5: r = 32; break;
+      case 6: r = 64; break;
+      case 7: r = 128; break;
+      default: r = 1000; break;
+      }
+      return r;
+    }
+    int main() {
+      return pick(0) + pick(3) + pick(7) + pick(8) + pick(0 - 5);
+    }
+  )",
+                                      "dense", Exit);
+  ASSERT_TRUE(CR.OK);
+  // In range hits the table; above the range and below it (negative) fall
+  // to the default via the unsigned bounds check.
+  EXPECT_EQ(Exit, 1 + 8 + 128 + 1000 + 1000);
+  EXPECT_EQ(switchModeOf(*CR.M, "pick"), BcSwitchMode::Dense);
+  const BytecodeModule &BM = getOrLowerBytecode(*CR.M);
+  ASSERT_EQ(BM.Funcs.size() >= 1, true);
+  bool Found = false;
+  for (const auto &BF : BM.Funcs) {
+    if (BF->Fn->name() != "pick")
+      continue;
+    Found = true;
+    ASSERT_EQ(BF->JumpTables.size(), 1u);
+    EXPECT_EQ(BF->JumpTables[0].Lo, 0);
+    EXPECT_EQ(BF->JumpTables[0].Size, 8u);
+    EXPECT_EQ(BF->JumpPool.size(), 8u);
+    for (int32_t T : BF->JumpPool)
+      EXPECT_GE(T, 0) << "contiguous range has no default holes";
+    EXPECT_TRUE(BF->SortedCasePool.empty());
+  }
+  EXPECT_TRUE(Found);
+}
+
+TEST(SwitchDispatchTest, DenseRangeWithHolesDefaultsOnMiss) {
+  int64_t Exit = 0;
+  CompileResult CR = runSwitchProgram(R"(
+    int pick(int q) {
+      int r;
+      r = 0;
+      switch (q) {
+      case 0: r = 3; break;
+      case 2: r = 5; break;
+      case 4: r = 7; break;
+      case 6: r = 11; break;
+      default: r = 900; break;
+      }
+      return r;
+    }
+    int main() {
+      return pick(0) + pick(2) + pick(6) + pick(1) + pick(5);
+    }
+  )",
+                                      "dense-holes", Exit);
+  ASSERT_TRUE(CR.OK);
+  // Span 7 over 4 unique values still qualifies as dense; the odd values
+  // are -1 holes in the jump pool and must take the default.
+  EXPECT_EQ(Exit, 3 + 5 + 11 + 900 + 900);
+  EXPECT_EQ(switchModeOf(*CR.M, "pick"), BcSwitchMode::Dense);
+}
+
+TEST(SwitchDispatchTest, SparseRangeFallsBackToSortedSearch) {
+  int64_t Exit = 0;
+  CompileResult CR = runSwitchProgram(R"(
+    int pick(int q) {
+      int r;
+      switch (q) {
+      case 10000: r = 30; break;
+      case 1: r = 10; break;
+      case 100: r = 20; break;
+      default: r = 500; break;
+      }
+      return r;
+    }
+    int main() {
+      return pick(1) + pick(100) + pick(10000) + pick(99) + pick(101);
+    }
+  )",
+                                      "sparse", Exit);
+  ASSERT_TRUE(CR.OK);
+  // Span 10000 blows the dense budget: binary search over the sorted pool,
+  // near-misses on both sides of a case value take the default.
+  EXPECT_EQ(Exit, 10 + 20 + 30 + 500 + 500);
+  EXPECT_EQ(switchModeOf(*CR.M, "pick"), BcSwitchMode::Sorted);
+  const BytecodeModule &BM = getOrLowerBytecode(*CR.M);
+  for (const auto &BF : BM.Funcs) {
+    if (BF->Fn->name() != "pick")
+      continue;
+    ASSERT_EQ(BF->SortedCasePool.size(), 3u);
+    EXPECT_EQ(BF->SortedCasePool[0].first, 1);
+    EXPECT_EQ(BF->SortedCasePool[1].first, 100);
+    EXPECT_EQ(BF->SortedCasePool[2].first, 10000);
+    EXPECT_TRUE(BF->JumpTables.empty());
+  }
+}
+
+TEST(SwitchDispatchTest, DuplicateCaseValueFirstWins) {
+  // The frontend does not reject duplicate case values, so the engines'
+  // shared contract applies: the first case in source order wins, in every
+  // dispatch mode (lowering deduplicates keeping the first target).
+  for (const char *Extra : {"case 2: r = 30; break;",       // dense shape
+                            "case 9999: r = 30; break;"}) { // sorted shape
+    int64_t Exit = 0;
+    std::string Src = std::string(R"(
+      int pick(int q) {
+        int r;
+        r = 0;
+        switch (q) {
+        case 1: r = 10; break;
+        case 1: r = 20; break;
+        )") + Extra + R"(
+        }
+        return r;
+      }
+      int main() { return pick(1); }
+    )";
+    runSwitchProgram(Src, std::string("duplicate/") + Extra, Exit);
+    EXPECT_EQ(Exit, 10) << Extra << ": first case in source order must win";
+  }
+}
+
+TEST(SwitchDispatchTest, DefaultOnlyAndMissingDefault) {
+  // Words == 0 stays on the (empty) linear scan; a missing default is an
+  // empty default body, so a miss leaves the variable untouched.
+  int64_t Exit = 0;
+  CompileResult CR = runSwitchProgram(R"(
+    int defonly(int q) {
+      int r;
+      switch (q) {
+      default: r = 5; break;
+      }
+      return r;
+    }
+    int nodefault(int q) {
+      int r;
+      r = 77;
+      switch (q) {
+      case 1: r = 40; break;
+      }
+      return r;
+    }
+    int main() {
+      return defonly(123) + nodefault(1) + nodefault(2);
+    }
+  )",
+                                      "default-only", Exit);
+  ASSERT_TRUE(CR.OK);
+  EXPECT_EQ(Exit, 5 + 40 + 77);
+  EXPECT_EQ(switchModeOf(*CR.M, "defonly"), BcSwitchMode::Linear);
+  // A single case cannot be dense (the table needs two distinct values).
+  EXPECT_EQ(switchModeOf(*CR.M, "nodefault"), BcSwitchMode::Sorted);
+}
+
 
 } // namespace

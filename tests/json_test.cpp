@@ -68,6 +68,31 @@ TEST(JsonParseTest, StringEscapes) {
   EXPECT_EQ(parseOK(R"("\ud83d\ude00")").asString(), "\xf0\x9f\x98\x80");
 }
 
+TEST(JsonParseTest, SurrogatePairBoundaries) {
+  // Lowest and highest astral code points: U+10000 and U+10FFFF.
+  EXPECT_EQ(parseOK(R"("\ud800\udc00")").asString(), "\xf0\x90\x80\x80");
+  EXPECT_EQ(parseOK(R"("\udbff\udfff")").asString(), "\xf4\x8f\xbf\xbf");
+  // Uppercase hex digits are equally valid in both halves.
+  EXPECT_EQ(parseOK(R"("\uD83D\uDE00")").asString(), "\xf0\x9f\x98\x80");
+  // A decoded pair keeps its neighbors intact.
+  EXPECT_EQ(parseOK(R"("a\ud83d\ude00b")").asString(),
+            "a\xf0\x9f\x98\x80"
+            "b");
+}
+
+TEST(JsonParseTest, SurrogateErrors) {
+  // High surrogate followed by a regular character, by the end of string,
+  // or by a \u escape outside DC00-DFFF -- all must be rejected, as must a
+  // low surrogate with no preceding high half.
+  EXPECT_NE(parseErr(R"("\ud83dx")"), "");
+  EXPECT_NE(parseErr(R"("\ud83d\n")"), "");
+  EXPECT_NE(parseErr(R"("\ud83dA")"), "");
+  EXPECT_NE(parseErr(R"("\ud83d\ud83d")"), ""); // high followed by high
+  EXPECT_NE(parseErr(R"("\udc00")"), "");       // lone low surrogate
+  EXPECT_NE(parseErr(R"("\ude00\ud83d")"), ""); // pair in the wrong order
+  EXPECT_NE(parseErr(R"("\ud83d\ude0")"), "");  // truncated low half
+}
+
 TEST(JsonParseTest, Errors) {
   EXPECT_NE(parseErr(""), "");
   EXPECT_NE(parseErr("{"), "");

@@ -125,6 +125,22 @@ TEST(RunRequestKeyTest, InstrumentationDoesNotPerturbKey) {
   EXPECT_EQ(A.keyBytes(), B.keyBytes());
 }
 
+TEST(RunRequestKeyTest, DispatchDoesNotPerturbKey) {
+  // Dispatch selects the bytecode inner loop, which is bit-identical by
+  // contract (the engine equivalence sweep pins it) — a request served on
+  // a portable-switch build and a computed-goto build must map to the
+  // same cached artifact, the same contract as LowerThreads/PassThreads.
+  RunRequest A;
+  RunRequest B = A;
+  B.Dispatch = A.Dispatch == BcDispatch::ComputedGoto
+                   ? BcDispatch::Switch
+                   : BcDispatch::ComputedGoto;
+  EXPECT_EQ(A.keyBytes(), B.keyBytes());
+  EXPECT_EQ(A.key(), B.key());
+  // But the effective machine still honors the request's choice.
+  EXPECT_EQ(B.machine().Dispatch, B.Dispatch);
+}
+
 TEST(RunRequestKeyTest, SequentialNormalizesNodeCount) {
   // Sequential mode forces one node, and the key uses the *effective*
   // machine: a 4-node and an 8-node sequential request are one artifact.
@@ -176,6 +192,10 @@ TEST(OptionTableTest, AppliesEveryPublishedKnob) {
   EXPECT_EQ(R.EUQuantum, 16u);
   EXPECT_TRUE(applyRequestOption(C, R, "seq", "on", Err)) << Err;
   EXPECT_TRUE(R.Sequential);
+  EXPECT_TRUE(applyRequestOption(C, R, "dispatch", "switch", Err)) << Err;
+  EXPECT_EQ(R.Dispatch, BcDispatch::Switch);
+  EXPECT_TRUE(applyRequestOption(C, R, "dispatch", "goto", Err)) << Err;
+  EXPECT_EQ(R.Dispatch, BcDispatch::ComputedGoto);
 }
 
 TEST(OptionTableTest, RejectsMalformedInput) {
@@ -188,6 +208,7 @@ TEST(OptionTableTest, RejectsMalformedInput) {
   EXPECT_FALSE(applyRequestOption(C, R, "nodes", "0", Err));
   EXPECT_FALSE(applyRequestOption(C, R, "nodes", "abc", Err));
   EXPECT_FALSE(applyRequestOption(C, R, "fuse", "maybe", Err));
+  EXPECT_FALSE(applyRequestOption(C, R, "dispatch", "jump", Err));
 }
 
 TEST(OptionTableTest, EnvironmentGoesThroughTheSameTable) {

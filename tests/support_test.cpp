@@ -8,9 +8,16 @@
 #include "support/Diagnostics.h"
 #include "support/Statistics.h"
 #include "support/TablePrinter.h"
+#include "support/ThreadPool.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
 
 using namespace earthcc;
 
@@ -274,4 +281,96 @@ TEST(CommProfilerTest, JsonIsPureFunctionOfRecordedData) {
   A.beginRun(2, 2);
   EXPECT_EQ(A.totalMsgs(), 0u);
   EXPECT_EQ(A.site(0).Msgs, 0u);
+}
+
+TEST(CommProfilerTest, PercentileAtPowerOfTwoBucketBoundaries) {
+  SiteProfile S;
+  // Powers of two start an octave, so each is exactly a bucket lower bound:
+  // the percentile that selects a 2^k latency must come back as 2^k itself,
+  // not the bound of the preceding sub-bucket.
+  const uint64_t Lats[] = {16, 32, 1024, 1ull << 20};
+  for (uint64_t Ns : Lats) {
+    ASSERT_EQ(SiteProfile::bucketLowNs(SiteProfile::bucketOf(Ns)), Ns);
+    ++S.Msgs; // recordLatency's min-tracking keys off Msgs == 1
+    S.recordLatency(Ns);
+  }
+  EXPECT_EQ(S.latencyPercentileNs(25), 16u);
+  EXPECT_EQ(S.latencyPercentileNs(50), 32u);
+  EXPECT_EQ(S.latencyPercentileNs(75), 1024u);
+  EXPECT_EQ(S.latencyPercentileNs(100), 1ull << 20);
+  // Fractional percentiles round their rank up, never down to rank 0.
+  EXPECT_EQ(S.latencyPercentileNs(0), 16u);
+  EXPECT_EQ(S.latencyPercentileNs(25.1), 32u);
+}
+
+TEST(CommProfilerTest, PercentileSingleMessageHistogram) {
+  SiteProfile S;
+  ++S.Msgs;
+  S.recordLatency(777);
+  // With one message every percentile selects it (rank clamps to [1, Msgs]),
+  // and the answer is its bucket's lower bound.
+  const uint64_t Bound = SiteProfile::bucketLowNs(SiteProfile::bucketOf(777));
+  EXPECT_LE(Bound, 777u);
+  for (double P : {0.0, 0.1, 50.0, 99.9, 100.0})
+    EXPECT_EQ(S.latencyPercentileNs(P), Bound) << P;
+  EXPECT_EQ(S.LatMinNs, 777u);
+  EXPECT_EQ(S.LatMaxNs, 777u);
+}
+
+//===----------------------------------------------------------------------===//
+// ThreadPool: parallelFor index coverage and failure semantics.
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPoolTest, ParallelForRunsEachIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  // Each index is claimed by exactly one worker, so the per-index writes
+  // cannot race.
+  std::vector<int> Hits(1000, 0);
+  Pool.parallelFor(Hits.size(), [&](size_t I) { ++Hits[I]; });
+  for (size_t I = 0; I != Hits.size(); ++I)
+    ASSERT_EQ(Hits[I], 1) << I;
+}
+
+TEST(ThreadPoolTest, ParallelForThrowSkipsTrailingIndicesOnOneThread) {
+  ThreadPool Pool(1);
+  std::vector<size_t> Ran;
+  bool Threw = false;
+  try {
+    Pool.parallelFor(8, [&](size_t I) {
+      Ran.push_back(I);
+      if (I == 2)
+        throw std::runtime_error("boom");
+    });
+  } catch (const std::runtime_error &E) {
+    Threw = true;
+    EXPECT_STREQ(E.what(), "boom");
+  }
+  EXPECT_TRUE(Threw);
+  // The failing index is the last body to run: indices 3..7 are never
+  // claimed once the failure flag is up.
+  EXPECT_EQ(Ran, (std::vector<size_t>{0, 1, 2}));
+}
+
+TEST(ThreadPoolTest, ParallelForStopsClaimingAfterFailure) {
+  ThreadPool Pool(2);
+  std::atomic<size_t> Executed{0};
+  bool Threw = false;
+  try {
+    Pool.parallelFor(1000, [&](size_t I) {
+      if (I == 0)
+        throw std::runtime_error("boom");
+      ++Executed;
+      // Slow the healthy lane's claim rate so the failure flag is up well
+      // before it could sweep the index space.
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    });
+  } catch (const std::runtime_error &) {
+    Threw = true;
+  }
+  EXPECT_TRUE(Threw);
+  // Without the shared failure flag the healthy lane grinds through all
+  // ~999 remaining indices; with it, only the bodies already in flight
+  // (plus a tiny claim-race window) complete. The bound is deliberately
+  // loose — it separates "stopped promptly" from "ran everything".
+  EXPECT_LT(Executed.load(), 500u);
 }
