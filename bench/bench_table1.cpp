@@ -500,6 +500,60 @@ int main(int argc, char **argv) {
   }
   SvcT.print(std::cout);
 
+  // Topology sweep: the paper's placement/selection wins were measured on
+  // an ideal constant-latency network. Re-run simple vs optimized under
+  // link contention (bus, torus2d) across machine sizes to see where the
+  // win grows, shrinks, or inverts. Each workload/mode compiles once; the
+  // module is node- and topology-independent, so only the runs vary.
+  struct TopoRow {
+    std::string Workload;
+    const char *Topo;
+    unsigned Nodes;
+    double SimpleNs, OptNs;
+  };
+  std::vector<TopoRow> TopoRows;
+  {
+    std::printf("\nTopology sweep (simulated time, simple vs optimized):\n");
+    TablePrinter TT({"workload", "topology", "nodes", "simple (us)",
+                     "optimized (us)", "speedup"});
+    for (const char *WName : {"health", "power"}) {
+      const Workload *W = findWorkload(WName);
+      Pipeline SimpleP(workloadOptions(RunMode::Simple));
+      Pipeline OptP(workloadOptions(RunMode::Optimized));
+      CompileResult SimpleCR = SimpleP.compile(W->Source);
+      CompileResult OptCR = OptP.compile(W->Source);
+      if (!SimpleCR.OK || !OptCR.OK) {
+        std::fprintf(stderr, "topology sweep: compile of %s failed\n", WName);
+        continue;
+      }
+      for (Topology Topo :
+           {Topology::Ideal, Topology::Bus, Topology::Torus2D}) {
+        for (unsigned Nodes : {4u, 16u, 64u}) {
+          MachineConfig SM = workloadMachine(RunMode::Simple, Nodes);
+          SM.Topo = Topo;
+          MachineConfig OM = workloadMachine(RunMode::Optimized, Nodes);
+          OM.Topo = Topo;
+          RunResult RS = SimpleP.run(SimpleCR, SM);
+          RunResult RO = OptP.run(OptCR, OM);
+          if (!RS.OK || !RO.OK) {
+            std::fprintf(stderr, "topology sweep: run of %s failed: %s%s\n",
+                         WName, RS.Error.c_str(), RO.Error.c_str());
+            continue;
+          }
+          TopoRows.push_back(
+              {WName, topologyName(Topo), Nodes, RS.TimeNs, RO.TimeNs});
+          TT.addRow({WName, topologyName(Topo), std::to_string(Nodes),
+                     TablePrinter::fmt(RS.TimeNs / 1e3, 1),
+                     TablePrinter::fmt(RO.TimeNs / 1e3, 1),
+                     TablePrinter::fmt(
+                         RO.TimeNs > 0 ? RS.TimeNs / RO.TimeNs : 0.0, 2) +
+                         "x"});
+        }
+      }
+    }
+    TT.print(std::cout);
+  }
+
   if (!JsonPath.empty()) {
     std::ofstream Out(JsonPath);
     if (!Out) {
@@ -623,6 +677,26 @@ int main(int argc, char **argv) {
                     Row.Cold.SimsPerSec > 0
                         ? Row.Warm.SimsPerSec / Row.Cold.SimsPerSec
                         : 0.0);
+      Out << Buf;
+    }
+    Out << "]},\n";
+    // The topology sweep: simulated end-to-end time for the simple vs
+    // optimized program versions under contention. speedup is the paper's
+    // optimization win at that (topology, nodes) point; comparing a row
+    // against its ideal sibling shows whether contention grows, shrinks,
+    // or inverts the win.
+    Out << "  \"topology\": {\"workloads\": [\"health\", \"power\"], "
+        << "\"topologies\": [\"ideal\", \"bus\", \"torus2d\"], "
+        << "\"nodes\": [4, 16, 64], \"sweep\": [";
+    for (size_t I = 0; I != TopoRows.size(); ++I) {
+      const TopoRow &Row = TopoRows[I];
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s{\"workload\": \"%s\", \"topology\": \"%s\", "
+                    "\"nodes\": %u, \"simple_ns\": %.0f, "
+                    "\"optimized_ns\": %.0f, \"speedup\": %.4f}",
+                    I ? ", " : "", Row.Workload.c_str(), Row.Topo, Row.Nodes,
+                    Row.SimpleNs, Row.OptNs,
+                    Row.OptNs > 0 ? Row.SimpleNs / Row.OptNs : 0.0);
       Out << Buf;
     }
     Out << "]},\n";

@@ -11,7 +11,8 @@
 //
 //   earthserve_client [--server "path/to/earthcc --serve ..."]
 //                     [--requests N] [--distinct K] [--workload NAME]
-//                     [--nodes N] [--profile]
+//                     [--nodes N] [--topology NAME] [--distribution NAME]
+//                     [--profile]
 //
 // `--distinct K` rotates the traffic over K distinct cache keys (the source
 // is salted with a block comment), so K=1 measures a pure warm-cache hit
@@ -105,6 +106,8 @@ int main(int argc, char **argv) {
   unsigned Requests = 32;
   unsigned Distinct = 4;
   unsigned Nodes = 4;
+  std::string TopologyName;     // empty = server default (ideal)
+  std::string DistributionName; // empty = server default (cyclic)
   bool Profile = false;
 
   for (int I = 1; I < argc; ++I) {
@@ -127,12 +130,20 @@ int main(int argc, char **argv) {
     } else if (Arg == "--nodes") {
       if (const char *V = Next())
         Nodes = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--topology") {
+      if (const char *V = Next())
+        TopologyName = V;
+    } else if (Arg == "--distribution") {
+      if (const char *V = Next())
+        DistributionName = V;
     } else if (Arg == "--profile") {
       Profile = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--server CMD] [--workload NAME] "
-                   "[--requests N] [--distinct K] [--nodes N] [--profile]\n",
+                   "[--requests N] [--distinct K] [--nodes N] "
+                   "[--topology ideal|bus|mesh2d|torus2d|fattree] "
+                   "[--distribution cyclic|block] [--profile]\n",
                    argv[0]);
       return 2;
     }
@@ -183,6 +194,15 @@ int main(int argc, char **argv) {
     Req.members().emplace_back("source", json::Value::string(Source));
     Req.members().emplace_back("nodes",
                                json::Value::number(static_cast<double>(Nodes)));
+    // Topology/distribution ride the same option table as the CLI; unlike
+    // engine/fuse they are key material, so two topologies never collide in
+    // the server's cache.
+    if (!TopologyName.empty())
+      Req.members().emplace_back("topology",
+                                 json::Value::string(TopologyName));
+    if (!DistributionName.empty())
+      Req.members().emplace_back("distribution",
+                                 json::Value::string(DistributionName));
     if (Profile)
       Req.members().emplace_back("profile", json::Value::boolean(true));
     SendMs[I] = nowMs();

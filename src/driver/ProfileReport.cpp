@@ -110,6 +110,20 @@ std::string earthcc::renderProfileReport(const Module &M,
     }
     TM.print(OS);
   }
+
+  // Per-link occupancy exists only on non-ideal topologies (the ideal
+  // network has no links to contend for).
+  if (!Prof.netLinks().empty()) {
+    const double EndNs = Prof.netEndTimeNs();
+    OS << "\nnetwork links (topology " << Prof.netTopology() << "):\n";
+    TablePrinter TL({"link", "msgs", "words", "busy ns", "util", "max queue"});
+    for (const NetLinkStats &L : Prof.netLinks())
+      TL.addRow({L.Name, std::to_string(L.Msgs), std::to_string(L.Words),
+                 TablePrinter::fmt(L.BusyNs, 0),
+                 TablePrinter::fmt(EndNs > 0.0 ? L.BusyNs / EndNs : 0.0, 3),
+                 std::to_string(L.MaxQueueDepth)});
+    TL.print(OS);
+  }
   return OS.str();
 }
 
@@ -156,6 +170,24 @@ std::string earthcc::profileReportJson(const Module &M,
       OS << (To ? ", " : "") << Prof.trafficWords(From, To);
     OS << "]";
   }
-  OS << "]}";
+  OS << "]";
+  // Per-link utilization and queue depth, present only when the run used a
+  // topology with real links (ideal stays byte-identical to the v1 schema).
+  if (!Prof.netLinks().empty()) {
+    const double EndNs = Prof.netEndTimeNs();
+    OS << ", \"network\": {\"topology\": \"" << jsonEscape(Prof.netTopology())
+       << "\", \"end_ns\": " << EndNs << ", \"links\": [";
+    bool FirstLink = true;
+    for (const NetLinkStats &L : Prof.netLinks()) {
+      OS << (FirstLink ? "" : ", ") << "{\"name\": \"" << jsonEscape(L.Name)
+         << "\", \"msgs\": " << L.Msgs << ", \"words\": " << L.Words
+         << ", \"busy_ns\": " << L.BusyNs << ", \"utilization\": "
+         << (EndNs > 0.0 ? L.BusyNs / EndNs : 0.0)
+         << ", \"max_queue_depth\": " << L.MaxQueueDepth << "}";
+      FirstLink = false;
+    }
+    OS << "]}";
+  }
+  OS << "}";
   return OS.str();
 }

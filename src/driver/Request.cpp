@@ -113,6 +113,11 @@ RunRequest::RunRequest() {
   MaxSteps = MC.MaxSteps;
   EUQuantum = MC.EUQuantum;
   Costs = MC.Costs;
+  Topo = MC.Topo;
+  NetHopNs = MC.NetHopNs;
+  NetLinkWordNs = MC.NetLinkWordNs;
+  Dist = MC.Dist;
+  DistBlockSize = MC.DistBlockSize;
 }
 
 MachineConfig RunRequest::machine() const {
@@ -126,13 +131,18 @@ MachineConfig RunRequest::machine() const {
   MC.AllowNullReads = AllowNullReads;
   MC.MaxSteps = MaxSteps;
   MC.EUQuantum = EUQuantum;
+  MC.Topo = Topo;
+  MC.NetHopNs = NetHopNs;
+  MC.NetLinkWordNs = NetLinkWordNs;
+  MC.Dist = Dist;
+  MC.DistBlockSize = DistBlockSize;
   MC.Trace = Sink;
   MC.Profiler = Profiler;
   return MC;
 }
 
 std::string RunRequest::keyBytes() const {
-  KeyWriter W("earthcc-run-v1");
+  KeyWriter W("earthcc-run-v2"); // v2: topology/distribution/net params
   W.text("entry", Entry);
   W.integer("args", Args.size());
   for (const RtValue &A : Args) {
@@ -153,6 +163,17 @@ std::string RunRequest::keyBytes() const {
   }
   W.integer("nodes", Sequential ? 1 : Nodes);
   W.boolean("sequential", Sequential);
+  // Topology and distribution are keyed because — unlike engine, fuse, and
+  // dispatch — they change the *simulated* results: contention reorders
+  // completion times and the distribution moves data between owners. The
+  // network parameters ride along for the same reason (they only matter on
+  // non-ideal topologies, but keying them unconditionally keeps the schema
+  // a pure function of the fields).
+  W.text("topology", topologyName(Topo));
+  W.text("distribution", distributionName(Dist));
+  W.real("net-hop", NetHopNs);
+  W.real("net-link-word", NetLinkWordNs);
+  W.integer("dist-block", DistBlockSize);
   W.integer("engine", static_cast<uint64_t>(Engine));
   W.boolean("fuse", Fuse);
   // Dispatch is intentionally absent: unlike Engine/Fuse (keyed
@@ -220,6 +241,19 @@ bool parseUnsignedValue(const std::string &V, unsigned &Out,
   return true;
 }
 
+bool parseRealValue(const std::string &V, double &Out, std::string &Err,
+                    const char *What) {
+  char *End = nullptr;
+  double D = std::strtod(V.c_str(), &End);
+  if (V.empty() || *End != '\0' || !(D >= 0.0)) {
+    Err = std::string(What) + " expects a non-negative number, got '" + V +
+          "'";
+    return false;
+  }
+  Out = D;
+  return true;
+}
+
 bool badOnOff(const char *What, const std::string &V, std::string &Err) {
   Err = std::string(What) + " expects on|off, got '" + V + "'";
   return false;
@@ -236,6 +270,59 @@ const std::vector<RequestOption> &earthcc::requestOptions() {
            return false;
          if (R.Nodes == 0) {
            Err = "nodes must be >= 1";
+           return false;
+         }
+         if (R.Nodes > MaxSimNodes) {
+           Err = "nodes must be <= " + std::to_string(MaxSimNodes) +
+                 " (got " + V + ")";
+           return false;
+         }
+         return true;
+       }},
+      {"topology", "ideal|bus|mesh2d|torus2d|fattree", "EARTHCC_TOPOLOGY",
+       "interconnect topology (default ideal, the paper's constant-latency "
+       "network; others model link contention and CHANGE simulated results)",
+       [](CompileRequest &, RunRequest &R, const std::string &V,
+          std::string &Err) {
+         if (parseTopology(V, R.Topo))
+           return true;
+         Err = "unknown topology '" + V + "' (valid: " +
+               std::string(topologyChoices()) + ")";
+         return false;
+       }},
+      {"distribution", "cyclic|block", nullptr,
+       "logical-index -> node mapping for @node placement (default cyclic, "
+       "the historical index % nodes)",
+       [](CompileRequest &, RunRequest &R, const std::string &V,
+          std::string &Err) {
+         if (parseDistribution(V, R.Dist))
+           return true;
+         Err = "unknown distribution '" + V + "' (valid: " +
+               std::string(distributionChoices()) + ")";
+         return false;
+       }},
+      {"net-hop-ns", "NS", nullptr,
+       "per-hop link latency of routed topologies in simulated ns "
+       "(default 450)",
+       [](CompileRequest &, RunRequest &R, const std::string &V,
+          std::string &Err) {
+         return parseRealValue(V, R.NetHopNs, Err, "net-hop-ns");
+       }},
+      {"net-link-word-ns", "NS", nullptr,
+       "per-word link occupancy (bandwidth term) of non-ideal links in "
+       "simulated ns (default 160)",
+       [](CompileRequest &, RunRequest &R, const std::string &V,
+          std::string &Err) {
+         return parseRealValue(V, R.NetLinkWordNs, Err, "net-link-word-ns");
+       }},
+      {"dist-block", "N", nullptr,
+       "indices per block for --distribution=block (default 8)",
+       [](CompileRequest &, RunRequest &R, const std::string &V,
+          std::string &Err) {
+         if (!parseUnsignedValue(V, R.DistBlockSize, Err, "dist-block"))
+           return false;
+         if (R.DistBlockSize == 0) {
+           Err = "dist-block must be >= 1";
            return false;
          }
          return true;

@@ -101,6 +101,17 @@ struct RunRequest {
   uint64_t MaxSteps;
   unsigned EUQuantum;
   CostModel Costs;
+  /// Interconnect topology and the network-model parameters (see
+  /// earth/NetworkModel.h). Unlike Engine/Fuse/Dispatch these CHANGE
+  /// simulated results — contention reorders completion times — so all of
+  /// them are key material in keyBytes().
+  Topology Topo;
+  double NetHopNs;
+  double NetLinkWordNs;
+  /// Logical-index -> node mapping for `@node` placement. Changes which
+  /// node owns each datum, hence simulated results; keyed.
+  Distribution Dist;
+  unsigned DistBlockSize;
 
   /// Per-request instrumentation. Observes the run without perturbing it,
   /// so both are excluded from keyBytes(): attaching a sink or profiler

@@ -17,6 +17,7 @@
 #define EARTHCC_EARTH_RUNTIME_H
 
 #include "earth/CostModel.h"
+#include "earth/NetworkModel.h"
 
 #include <cassert>
 #include <cstdint>
@@ -185,6 +186,23 @@ inline bool defaultFuseEnabled() {
 struct MachineConfig {
   unsigned NumNodes = 1;
   CostModel Costs;
+  /// Interconnect topology (see earth/NetworkModel.h). Ideal is the paper's
+  /// constant-latency EARTH-MANNA network and the default (EARTHCC_TOPOLOGY
+  /// overrides, same pattern as EARTHCC_FUSE/EARTHCC_DISPATCH). Unlike the
+  /// Engine/Fuse/Dispatch knobs this CHANGES simulated results, so it is
+  /// request-key material in driver/Request.cpp.
+  Topology Topo = defaultTopology();
+  /// Logical-index -> node mapping for `@node expr` placement (cyclic is
+  /// the historical `index % nodes`). Changes simulated results; keyed.
+  Distribution Dist = Distribution::Cyclic;
+  /// Per-hop link latency of the routed topologies, in simulated ns
+  /// (mesh2d/torus2d/fattree; the bus charges a full NetDelay per crossing).
+  double NetHopNs = 450.0;
+  /// Per-word link occupancy (bandwidth term) of non-ideal links, in
+  /// simulated ns per payload word.
+  double NetLinkWordNs = 160.0;
+  /// Indices per block for Distribution::Block.
+  unsigned DistBlockSize = 8;
   /// Execution engine selection (see ExecEngine). Purely a host-performance
   /// choice; simulated results do not depend on it.
   ExecEngine Engine = ExecEngine::Bytecode;

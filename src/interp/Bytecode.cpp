@@ -109,8 +109,10 @@ public:
         Threaded(computedGotoAvailable() &&
                  Cfg.Dispatch == BcDispatch::ComputedGoto),
         Trc(Cfg.Trace), Prof(Cfg.Profiler),
-        Mem(std::max(1u, Cfg.NumNodes)), EUClock(Mem.numNodes(), 0.0),
-        SUClock(Mem.numNodes(), 0.0), LastFiber(Mem.numNodes(), nullptr) {}
+        Mem(std::max(1u, Cfg.NumNodes)),
+        Net(createNetworkModel(Cfg.Topo, Mem.numNodes(), Cfg.Costs,
+                               Cfg.NetHopNs, Cfg.NetLinkWordNs)),
+        EUClock(Mem.numNodes(), 0.0), LastFiber(Mem.numNodes(), nullptr) {}
 
   RunResult run(const std::string &Entry, const std::vector<RtValue> &Args);
 
@@ -267,17 +269,23 @@ private:
 
   /// \p SuLabel is a pre-interned "su:<op>" literal (EngineCommon.h), so
   /// tracing builds no strings here.
-  double transactionComplete(double IssueEnd, unsigned To, double Service,
-                             double ExtraWords, const char *SuLabel) {
-    double Arrival = IssueEnd + cost().NetDelay;
-    double SuStart = std::max(SUClock[To], Arrival);
-    double SuEnd = SuStart + Service + cost().PerWord * ExtraWords;
-    SUClock[To] = SuEnd;
+  ///
+  /// The latency arithmetic lives in NetworkModel::transaction()
+  /// (earth/NetworkModel.h) — the single source of truth shared with the
+  /// AST walker's identically-named wrapper in Interp.cpp, so the two
+  /// engines cannot drift.
+  double transactionComplete(double IssueEnd, unsigned From, unsigned To,
+                             double Service, double ExtraWords,
+                             uint64_t FwdWords, uint64_t BackWords,
+                             const char *SuLabel) {
+    NetTransaction Tx = Net->transaction(IssueEnd, From, To, Service,
+                                         ExtraWords, FwdWords, BackWords);
     if (Trc) {
-      traceSpan(SuLabel, "su", SuStart, SuEnd - SuStart, To, TraceTidSU);
-      traceClock("su-clock", SuEnd, To, TraceTidSU, SuEnd);
+      traceSpan(SuLabel, "su", Tx.SuStart, Tx.SuEnd - Tx.SuStart, To,
+                TraceTidSU);
+      traceClock("su-clock", Tx.SuEnd, To, TraceTidSU, Tx.SuEnd);
     }
-    return SuEnd + cost().NetDelay;
+    return Tx.DoneAt;
   }
 
   //===--------------------------------------------------------------------===
@@ -466,8 +474,9 @@ private:
       double IssueStart = Now;
       Now += cost().ReadIssue;
       ++Ctr.WordsMoved;
-      double DoneAt = transactionComplete(Now, Addr.Node,
+      double DoneAt = transactionComplete(Now, Fr.Node, Addr.Node,
                                           cost().SUReadService, 0.0,
+                                          /*FwdWords=*/0, /*BackWords=*/1,
                                           SuReadDataLabel);
       if (Trc)
         traceSpan("read-data", "comm", IssueStart, DoneAt - IssueStart,
@@ -570,8 +579,9 @@ private:
       double IssueStart = Now;
       Now += cost().WriteIssue;
       ++Ctr.WordsMoved;
-      double DoneAt = transactionComplete(Now, Addr.Node,
+      double DoneAt = transactionComplete(Now, Fr.Node, Addr.Node,
                                           cost().SUWriteService, 0.0,
+                                          /*FwdWords=*/1, /*BackWords=*/0,
                                           SuWriteDataLabel);
       if (Trc)
         traceSpan("write-data", "comm", IssueStart, DoneAt - IssueStart,
@@ -648,8 +658,11 @@ private:
     double IssueStart = Now;
     Now += cost().BlkIssue;
     Ctr.WordsMoved += I.Words;
-    double DoneAt = transactionComplete(Now, Addr.Node, cost().SUBlkService,
-                                        I.Words, SuBlkMovLabel);
+    bool BlkRead = Dir == BlkMovDir::ReadToLocal;
+    double DoneAt = transactionComplete(
+        Now, Fr.Node, Addr.Node, cost().SUBlkService, I.Words,
+        /*FwdWords=*/BlkRead ? 0 : I.Words,
+        /*BackWords=*/BlkRead ? I.Words : 0, SuBlkMovLabel);
     if (Trc)
       traceSpan("blkmov", "comm", IssueStart, DoneAt - IssueStart, Fr.Node,
                 TraceTidComm,
@@ -709,8 +722,9 @@ private:
       } else {
         double IssueStart = Now;
         Now += cost().WriteIssue;
-        double DoneAt = transactionComplete(Now, Addr.Node,
+        double DoneAt = transactionComplete(Now, Fr.Node, Addr.Node,
                                             cost().SUAtomicService, 0.0,
+                                            /*FwdWords=*/0, /*BackWords=*/0,
                                             SuAtomicLabel);
         if (Trc)
           traceSpan("atomic", "comm", IssueStart, DoneAt - IssueStart,
@@ -738,8 +752,9 @@ private:
       } else {
         double IssueStart = Now;
         Now += cost().ReadIssue;
-        double DoneAt = transactionComplete(Now, Addr.Node,
+        double DoneAt = transactionComplete(Now, Fr.Node, Addr.Node,
                                             cost().SUAtomicService, 0.0,
+                                            /*FwdWords=*/0, /*BackWords=*/0,
                                             SuAtomicLabel);
         Fr.Locals->Avail[I.Dst] = DoneAt;
         if (Trc)
@@ -784,7 +799,11 @@ private:
         int64_t N = valueOf(Fr, I.Y).I;
         if (N < 0)
           fail("@node with negative index");
-        return static_cast<unsigned>(N) % Mem.numNodes();
+        // Logical index -> node through the pluggable distribution
+        // (earth/NetworkModel.h placeIndex; cyclic is the historical
+        // `index % nodes`).
+        return placeIndex(static_cast<uint64_t>(N), Mem.numNodes(), Cfg.Dist,
+                          Cfg.DistBlockSize);
       }
       case CallPlacement::OwnerOf: {
         RtValue V = valueOf(Fr, I.Y);
@@ -887,8 +906,12 @@ private:
     if (Trc)
       traceInstant("migrate", "fiber", Now, Fr.Node, TraceTidEU,
                    {{"fiber", F->Id}, {"to", Target}});
+    // Capture the origin before push_back: growing the frame stack may
+    // reallocate it and dangle Fr.
+    const unsigned FromNode = Fr.Node;
     F->Stack.push_back(std::move(NewFr));
-    BlockTime = Now + cost().NetDelay; // Travel to the remote node.
+    // Travel to the remote node (ideal: one NetDelay).
+    BlockTime = Net->transferDone(FromNode, Target, 0, Now);
     return StepStatus::YieldAt;
   }
 
@@ -903,15 +926,16 @@ private:
       if (F == MainFiber && Result)
         ExitVal = *Result;
       double End = std::max(Now, Done.WriteSync);
-      if (Done.Migrated)
-        End += cost().NetDelay;
+      if (Done.Migrated) // Defensive: base frames are never placed calls.
+        End = Net->transferDone(Done.Node, 0, 0, End);
       finishFiber(F, End, Done.Node);
       return StepStatus::FiberDone;
     }
 
     BcFrame &Parent = F->Stack.back();
     Parent.WriteSync = std::max(Parent.WriteSync, Done.WriteSync);
-    double Arrive = Done.Migrated ? Now + cost().NetDelay : Now;
+    double Arrive =
+        Done.Migrated ? Net->transferDone(Done.Node, Parent.Node, 0, Now) : Now;
     if (Done.ResultV && Result) {
       if (Done.ResultSlot < 0)
         noStorage(Parent, Done.ResultV);
@@ -1019,9 +1043,11 @@ private:
   TraceSink *Trc = nullptr;
   CommProfiler *Prof = nullptr;
   EarthMemory Mem;
+  /// The interconnect: owns the per-node SU clocks and all link state (see
+  /// earth/NetworkModel.h).
+  std::unique_ptr<NetworkModel> Net;
   OpCounters Ctr;
   std::vector<double> EUClock;
-  std::vector<double> SUClock;
   std::vector<Fiber *> LastFiber;
   /// BcLocals recycling pool (see acquireLocals). The deque owns every
   /// image ever handed out (stable addresses); the free list holds the
@@ -1108,6 +1134,12 @@ RunResult BcInterp::run(const std::string &Entry,
   } catch (RuntimeFailure &Failure) {
     R.Error = Failure.Message;
     return R;
+  }
+
+  if (Prof) {
+    const std::vector<uint64_t> *PW = Net->transferWords();
+    Prof->setNetwork(topologyName(Net->topology()), Net->linkStats(),
+                     PW ? *PW : std::vector<uint64_t>{}, EndTime);
   }
 
   R.OK = true;

@@ -100,8 +100,9 @@ public:
   Interp(const Module &M, const MachineConfig &Cfg)
       : M(M), Cfg(Cfg), Trc(Cfg.Trace), Prof(Cfg.Profiler),
         Mem(std::max(1u, Cfg.NumNodes)),
-        EUClock(Mem.numNodes(), 0.0), SUClock(Mem.numNodes(), 0.0),
-        LastFiber(Mem.numNodes(), nullptr) {}
+        Net(createNetworkModel(Cfg.Topo, Mem.numNodes(), Cfg.Costs,
+                               Cfg.NetHopNs, Cfg.NetLinkWordNs)),
+        EUClock(Mem.numNodes(), 0.0), LastFiber(Mem.numNodes(), nullptr) {}
 
   RunResult run(const std::string &Entry, const std::vector<RtValue> &Args);
 
@@ -234,17 +235,25 @@ private:
   /// distinct from the issuing node's in-flight span for the same
   /// operation) — callers pass the constant, so the trace path never
   /// builds a string per transaction.
-  double transactionComplete(double IssueEnd, unsigned To, double Service,
-                             double ExtraWords, const char *SuLabel) {
-    double Arrival = IssueEnd + cost().NetDelay;
-    double SuStart = std::max(SUClock[To], Arrival);
-    double SuEnd = SuStart + Service + cost().PerWord * ExtraWords;
-    SUClock[To] = SuEnd;
+  ///
+  /// The latency arithmetic itself lives in NetworkModel::transaction()
+  /// (earth/NetworkModel.h) — the single source of truth shared with the
+  /// bytecode engine's identically-named wrapper in Bytecode.cpp, so the
+  /// two engines cannot drift. \p FwdWords / \p BackWords are the payload
+  /// words on the request and reply legs (they matter only to bandwidth-
+  /// modeling topologies; the ideal network ignores them).
+  double transactionComplete(double IssueEnd, unsigned From, unsigned To,
+                             double Service, double ExtraWords,
+                             uint64_t FwdWords, uint64_t BackWords,
+                             const char *SuLabel) {
+    NetTransaction Tx = Net->transaction(IssueEnd, From, To, Service,
+                                         ExtraWords, FwdWords, BackWords);
     if (Trc) {
-      traceSpan(SuLabel, "su", SuStart, SuEnd - SuStart, To, TraceTidSU);
-      traceClock("su-clock", SuEnd, To, TraceTidSU, SuEnd);
+      traceSpan(SuLabel, "su", Tx.SuStart, Tx.SuEnd - Tx.SuStart, To,
+                TraceTidSU);
+      traceClock("su-clock", Tx.SuEnd, To, TraceTidSU, Tx.SuEnd);
     }
-    return SuEnd + cost().NetDelay;
+    return Tx.DoneAt;
   }
 
   //===--------------------------------------------------------------------===
@@ -401,9 +410,10 @@ private:
       double IssueStart = Now;
       Now += cost().ReadIssue;
       ++Ctr.WordsMoved;
-      double DoneAt =
-          transactionComplete(Now, Addr.Node, cost().SUReadService, 0.0,
-                              interp::SuReadDataLabel);
+      double DoneAt = transactionComplete(Now, Fr.Node, Addr.Node,
+                                          cost().SUReadService, 0.0,
+                                          /*FwdWords=*/0, /*BackWords=*/1,
+                                          interp::SuReadDataLabel);
       if (Trc)
         traceSpan("read-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
@@ -490,9 +500,10 @@ private:
       double IssueStart = Now;
       Now += cost().WriteIssue;
       ++Ctr.WordsMoved;
-      double DoneAt =
-          transactionComplete(Now, Addr.Node, cost().SUWriteService, 0.0,
-                              interp::SuWriteDataLabel);
+      double DoneAt = transactionComplete(Now, Fr.Node, Addr.Node,
+                                          cost().SUWriteService, 0.0,
+                                          /*FwdWords=*/1, /*BackWords=*/0,
+                                          interp::SuWriteDataLabel);
       if (Trc)
         traceSpan("write-data", "comm", IssueStart, DoneAt - IssueStart,
                   Fr.Node, TraceTidComm,
@@ -563,8 +574,11 @@ private:
     double IssueStart = Now;
     Now += cost().BlkIssue;
     Ctr.WordsMoved += B.Words;
-    double DoneAt = transactionComplete(Now, Addr.Node, cost().SUBlkService,
-                                        B.Words, interp::SuBlkMovLabel);
+    bool BlkRead = B.Dir == BlkMovDir::ReadToLocal;
+    double DoneAt = transactionComplete(
+        Now, Fr.Node, Addr.Node, cost().SUBlkService, B.Words,
+        /*FwdWords=*/BlkRead ? 0 : B.Words,
+        /*BackWords=*/BlkRead ? B.Words : 0, interp::SuBlkMovLabel);
     if (Trc)
       traceSpan("blkmov", "comm", IssueStart, DoneAt - IssueStart, Fr.Node,
                 TraceTidComm,
@@ -620,8 +634,9 @@ private:
       } else {
         double IssueStart = Now;
         Now += cost().WriteIssue;
-        double DoneAt = transactionComplete(Now, Addr.Node,
+        double DoneAt = transactionComplete(Now, Fr.Node, Addr.Node,
                                             cost().SUAtomicService, 0.0,
+                                            /*FwdWords=*/0, /*BackWords=*/0,
                                             interp::SuAtomicLabel);
         if (Trc)
           traceSpan("atomic", "comm", IssueStart, DoneAt - IssueStart,
@@ -649,8 +664,9 @@ private:
       } else {
         double IssueStart = Now;
         Now += cost().ReadIssue;
-        Dst.AvailAt = transactionComplete(Now, Addr.Node,
+        Dst.AvailAt = transactionComplete(Now, Fr.Node, Addr.Node,
                                           cost().SUAtomicService, 0.0,
+                                          /*FwdWords=*/0, /*BackWords=*/0,
                                           interp::SuAtomicLabel);
         if (Trc)
           traceSpan("atomic", "comm", IssueStart, Dst.AvailAt - IssueStart,
@@ -691,7 +707,11 @@ private:
         int64_t N = operandValue(Fr, C.PlacementArg).I;
         if (N < 0)
           runtimeError("@node with negative index");
-        return static_cast<unsigned>(N) % Mem.numNodes();
+        // Logical index -> node through the pluggable distribution
+        // (earth/NetworkModel.h placeIndex; cyclic is the historical
+        // `index % nodes`).
+        return placeIndex(static_cast<uint64_t>(N), Mem.numNodes(), Cfg.Dist,
+                          Cfg.DistBlockSize);
       }
       case CallPlacement::OwnerOf: {
         RtValue V = operandValue(Fr, C.PlacementArg);
@@ -786,8 +806,12 @@ private:
     if (Trc)
       traceInstant("migrate", "fiber", Now, Fr.Node, TraceTidEU,
                    {{"fiber", F->Id}, {"to", Target}});
+    // Capture the origin before push_back: growing the frame stack may
+    // reallocate it and dangle Fr.
+    const unsigned FromNode = Fr.Node;
     F->Stack.push_back(std::move(NewFr));
-    BlockTime = Now + cost().NetDelay; // Travel to the remote node.
+    // Travel to the remote node (ideal: one NetDelay).
+    BlockTime = Net->transferDone(FromNode, Target, 0, Now);
     return StepStatus::YieldAt;
   }
 
@@ -804,15 +828,16 @@ private:
       if (F == MainFiber && Result)
         ExitVal = *Result;
       double End = std::max(Now, Done.WriteSync);
-      if (Done.Migrated)
-        End += cost().NetDelay;
+      if (Done.Migrated) // Defensive: base frames are never placed calls.
+        End = Net->transferDone(Done.Node, 0, 0, End);
       finishFiber(F, End, Done.Node);
       return StepStatus::FiberDone;
     }
 
     Frame &Parent = F->Stack.back();
     Parent.WriteSync = std::max(Parent.WriteSync, Done.WriteSync);
-    double Arrive = Done.Migrated ? Now + cost().NetDelay : Now;
+    double Arrive =
+        Done.Migrated ? Net->transferDone(Done.Node, Parent.Node, 0, Now) : Now;
     if (Done.ResultVar && Result) {
       VarSlot &Dst = slot(Parent, Done.ResultVar);
       Dst.Words[0] = *Result;
@@ -1120,9 +1145,11 @@ private:
   /// engines agree on every site id without sharing state.
   CommSiteTable SiteTable;
   EarthMemory Mem;
+  /// The interconnect: owns the per-node SU clocks and all link state (see
+  /// earth/NetworkModel.h).
+  std::unique_ptr<NetworkModel> Net;
   OpCounters Ctr;
   std::vector<double> EUClock;
-  std::vector<double> SUClock;
   std::vector<Fiber *> LastFiber;
   std::priority_queue<Event, std::vector<Event>, std::greater<Event>> Q;
   uint64_t EventSeq = 0;
@@ -1185,6 +1212,12 @@ RunResult Interp::run(const std::string &Entry,
   } catch (RuntimeFailure &Failure) {
     R.Error = Failure.Message;
     return R;
+  }
+
+  if (Prof) {
+    const std::vector<uint64_t> *PW = Net->transferWords();
+    Prof->setNetwork(topologyName(Net->topology()), Net->linkStats(),
+                     PW ? *PW : std::vector<uint64_t>{}, EndTime);
   }
 
   R.OK = true;

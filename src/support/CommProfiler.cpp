@@ -76,6 +76,20 @@ void CommProfiler::beginRun(unsigned Sites_, unsigned Nodes) {
   SiteOps.assign(NumSites, CommOpKind::Read);
   TrafficMsgs.assign(size_t(NumNodes) * NumNodes, 0);
   TrafficWords.assign(size_t(NumNodes) * NumNodes, 0);
+  NetTopology.clear();
+  NetLinks.clear();
+  NetPairWords.clear();
+  NetEndTimeNs = 0.0;
+}
+
+void CommProfiler::setNetwork(std::string TopologyName,
+                              std::vector<NetLinkStats> Links,
+                              std::vector<uint64_t> PairWords,
+                              double EndTimeNs) {
+  NetTopology = std::move(TopologyName);
+  NetLinks = std::move(Links);
+  NetPairWords = std::move(PairWords);
+  NetEndTimeNs = EndTimeNs;
 }
 
 void CommProfiler::record(int32_t Site, CommOpKind Op, unsigned From,
@@ -146,7 +160,44 @@ std::string CommProfiler::json() const {
     }
     Out += "]";
   }
-  Out += "]}";
+  Out += "]";
+  // The network block exists only when a routed topology reported links;
+  // the ideal network keeps the encoding byte-identical to its
+  // pre-NetworkModel form (the equivalence sweep pins that).
+  if (!NetLinks.empty()) {
+    Out += ", \"network\": {\"topology\": \"" + NetTopology +
+           "\", \"end_ns\": ";
+    std::snprintf(Buf, sizeof(Buf), "%.17g", NetEndTimeNs);
+    Out += Buf;
+    Out += ", \"links\": [";
+    for (size_t I = 0; I != NetLinks.size(); ++I) {
+      const NetLinkStats &L = NetLinks[I];
+      double Util = NetEndTimeNs > 0 ? L.BusyNs / NetEndTimeNs : 0.0;
+      std::snprintf(Buf, sizeof(Buf),
+                    "%s{\"name\": \"%s\", \"msgs\": %llu, \"words\": %llu, "
+                    "\"busy_ns\": %.17g, \"utilization\": %.17g, "
+                    "\"max_queue_depth\": %u}",
+                    I ? ", " : "", L.Name.c_str(), (unsigned long long)L.Msgs,
+                    (unsigned long long)L.Words, L.BusyNs, Util,
+                    L.MaxQueueDepth);
+      Out += Buf;
+    }
+    Out += "], \"pair_words\": [";
+    for (unsigned F = 0; F != NumNodes; ++F) {
+      Out += F ? ", [" : "[";
+      for (unsigned T = 0; T != NumNodes; ++T) {
+        uint64_t W = NetPairWords.size() == size_t(NumNodes) * NumNodes
+                         ? NetPairWords[F * NumNodes + T]
+                         : 0;
+        std::snprintf(Buf, sizeof(Buf), "%s%llu", T ? ", " : "",
+                      (unsigned long long)W);
+        Out += Buf;
+      }
+      Out += "]";
+    }
+    Out += "]}";
+  }
+  Out += "}";
   return Out;
 }
 

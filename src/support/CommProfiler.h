@@ -39,6 +39,17 @@ enum class CommOpKind : uint8_t { Read, Write, BlkMov, Atomic };
 
 const char *commOpKindName(CommOpKind K);
 
+/// End-of-run occupancy statistics for one directed network link, reported
+/// by the NetworkModel (earth/NetworkModel.h). Defined here so the profiler
+/// (support layer) can carry them without depending on the earth layer.
+struct NetLinkStats {
+  std::string Name;       ///< Stable link id, e.g. "n3->n4" or "up1.2".
+  uint64_t Msgs = 0;      ///< Transfers that traversed this link.
+  uint64_t Words = 0;     ///< Payload words carried.
+  double BusyNs = 0.0;    ///< Total simulated occupancy (latency + transfer).
+  unsigned MaxQueueDepth = 0; ///< Peak FIFO depth (queued + in flight).
+};
+
 /// Accumulated dynamic behavior of one site.
 struct SiteProfile {
   /// 16 exact buckets below 16 ns, then 16 linear sub-buckets per octave up
@@ -101,9 +112,24 @@ public:
 
   uint64_t totalMsgs() const;
 
-  /// Serializes every recorded number (per-site rows, traffic matrix) as
-  /// JSON. The encoding is a pure function of the recorded data, so equal
-  /// strings <=> equal profiles; the equivalence tests compare this form.
+  /// Attaches the network layer's end-of-run view: topology name, per-link
+  /// occupancy stats, the NumNodes x NumNodes matrix of words the model
+  /// actually injected (row = source), and the run's end time (for
+  /// utilization). Engines call this once after a successful run. The ideal
+  /// network reports no links, which leaves json() byte-identical to the
+  /// pre-NetworkModel encoding — the engine-equivalence sweep relies on it.
+  void setNetwork(std::string TopologyName, std::vector<NetLinkStats> Links,
+                  std::vector<uint64_t> PairWords, double EndTimeNs);
+
+  const std::string &netTopology() const { return NetTopology; }
+  const std::vector<NetLinkStats> &netLinks() const { return NetLinks; }
+  const std::vector<uint64_t> &netPairWords() const { return NetPairWords; }
+  double netEndTimeNs() const { return NetEndTimeNs; }
+
+  /// Serializes every recorded number (per-site rows, traffic matrix, and
+  /// the network block when a routed topology reported links) as JSON. The
+  /// encoding is a pure function of the recorded data, so equal strings
+  /// <=> equal profiles; the equivalence tests compare this form.
   std::string json() const;
 
 private:
@@ -113,6 +139,10 @@ private:
   std::vector<CommOpKind> SiteOps;
   std::vector<uint64_t> TrafficMsgs;  ///< NumNodes x NumNodes, row = from.
   std::vector<uint64_t> TrafficWords; ///< Same shape, in words.
+  std::string NetTopology;
+  std::vector<NetLinkStats> NetLinks;
+  std::vector<uint64_t> NetPairWords; ///< Same shape as TrafficWords.
+  double NetEndTimeNs = 0.0;
 };
 
 } // namespace earthcc

@@ -178,6 +178,36 @@ TEST_P(EngineEquivalenceTest, QuantumSweep) {
   }
 }
 
+// Topology axis: at every fixed (topology, distribution) the engine, fuse
+// and dispatch knobs must still be bit-identical — the network model mutates
+// link state in event order, so this pins that both engines issue network
+// transactions in the same order even under contention.
+TEST_P(EngineEquivalenceTest, TopologyAxis) {
+  Pipeline P(workloadOptions(RunMode::Optimized));
+  CompileResult CR = P.compile(workload().smallSource());
+  ASSERT_TRUE(CR.OK) << CR.Messages;
+  for (Topology Topo : {Topology::Bus, Topology::Mesh2D, Topology::Torus2D,
+                        Topology::FatTree}) {
+    for (Distribution Dist : {Distribution::Cyclic, Distribution::Block}) {
+      MachineConfig MC = workloadMachine(RunMode::Optimized, 4);
+      MC.Topo = Topo;
+      MC.Dist = Dist;
+      std::string What = GetParam() + "/topology=" +
+                         topologyName(Topo) + "/dist=" +
+                         distributionName(Dist);
+      auto Ast = runWith(P, *CR.M, MC, ExecEngine::AST);
+      auto Bc = runWith(P, *CR.M, MC, ExecEngine::Bytecode);
+      auto BcPlain =
+          runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/false);
+      auto BcSw = runWith(P, *CR.M, MC, ExecEngine::Bytecode, /*Fuse=*/true,
+                          BcDispatch::Switch);
+      expectIdentical(Ast, Bc, What + "/fuse=on");
+      expectIdentical(Ast, BcPlain, What + "/fuse=off");
+      expectIdentical(Ast, BcSw, What + "/dispatch=switch");
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Olden, EngineEquivalenceTest,
                          ::testing::Values("power", "perimeter", "tsp",
                                            "health", "voronoi"),

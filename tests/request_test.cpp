@@ -113,6 +113,40 @@ TEST(RunRequestKeyTest, ResultDeterminingFieldsPerturbKey) {
   EXPECT_NE(Base.keyBytes(), Fuel.keyBytes());
 }
 
+TEST(RunRequestKeyTest, NetworkModelFieldsPerturbKey) {
+  // Topology, distribution and the network parameters change *simulated*
+  // results (contention reorders completion times; the distribution moves
+  // data between owners) — unlike engine/fuse/dispatch, every one of them
+  // must split the cache.
+  RunRequest Base;
+
+  RunRequest Topo = Base;
+  Topo.Topo = Topology::Torus2D;
+  EXPECT_NE(Base.keyBytes(), Topo.keyBytes());
+
+  RunRequest Dist = Base;
+  Dist.Dist = Distribution::Block;
+  EXPECT_NE(Base.keyBytes(), Dist.keyBytes());
+
+  RunRequest Hop = Base;
+  Hop.NetHopNs *= 2;
+  EXPECT_NE(Base.keyBytes(), Hop.keyBytes());
+
+  RunRequest LinkWord = Base;
+  LinkWord.NetLinkWordNs *= 2;
+  EXPECT_NE(Base.keyBytes(), LinkWord.keyBytes());
+
+  RunRequest Block = Base;
+  Block.DistBlockSize = 17;
+  EXPECT_NE(Base.keyBytes(), Block.keyBytes());
+
+  // And machine() forwards all of them.
+  MachineConfig MC = Topo.machine();
+  EXPECT_EQ(MC.Topo, Topology::Torus2D);
+  EXPECT_EQ(Dist.machine().Dist, Distribution::Block);
+  EXPECT_EQ(Block.machine().DistBlockSize, 17u);
+}
+
 TEST(RunRequestKeyTest, InstrumentationDoesNotPerturbKey) {
   RunRequest A;
   RunRequest B = A;
@@ -196,6 +230,17 @@ TEST(OptionTableTest, AppliesEveryPublishedKnob) {
   EXPECT_EQ(R.Dispatch, BcDispatch::Switch);
   EXPECT_TRUE(applyRequestOption(C, R, "dispatch", "goto", Err)) << Err;
   EXPECT_EQ(R.Dispatch, BcDispatch::ComputedGoto);
+  EXPECT_TRUE(applyRequestOption(C, R, "topology", "torus2d", Err)) << Err;
+  EXPECT_EQ(R.Topo, Topology::Torus2D);
+  EXPECT_TRUE(applyRequestOption(C, R, "distribution", "block", Err)) << Err;
+  EXPECT_EQ(R.Dist, Distribution::Block);
+  EXPECT_TRUE(applyRequestOption(C, R, "net-hop-ns", "900", Err)) << Err;
+  EXPECT_EQ(R.NetHopNs, 900.0);
+  EXPECT_TRUE(applyRequestOption(C, R, "net-link-word-ns", "320.5", Err))
+      << Err;
+  EXPECT_EQ(R.NetLinkWordNs, 320.5);
+  EXPECT_TRUE(applyRequestOption(C, R, "dist-block", "16", Err)) << Err;
+  EXPECT_EQ(R.DistBlockSize, 16u);
 }
 
 TEST(OptionTableTest, RejectsMalformedInput) {
@@ -209,6 +254,20 @@ TEST(OptionTableTest, RejectsMalformedInput) {
   EXPECT_FALSE(applyRequestOption(C, R, "nodes", "abc", Err));
   EXPECT_FALSE(applyRequestOption(C, R, "fuse", "maybe", Err));
   EXPECT_FALSE(applyRequestOption(C, R, "dispatch", "jump", Err));
+  // Oversized machines get a diagnostic naming the ceiling, not an
+  // allocation storm.
+  EXPECT_FALSE(applyRequestOption(C, R, "nodes",
+                                  std::to_string(MaxSimNodes + 1), Err));
+  EXPECT_NE(Err.find(std::to_string(MaxSimNodes)), std::string::npos);
+  // Unknown topology/distribution values list the valid choices.
+  EXPECT_FALSE(applyRequestOption(C, R, "topology", "hypercube", Err));
+  EXPECT_NE(Err.find("hypercube"), std::string::npos);
+  EXPECT_NE(Err.find(topologyChoices()), std::string::npos);
+  EXPECT_FALSE(applyRequestOption(C, R, "distribution", "random", Err));
+  EXPECT_NE(Err.find(distributionChoices()), std::string::npos);
+  EXPECT_FALSE(applyRequestOption(C, R, "net-hop-ns", "-3", Err));
+  EXPECT_FALSE(applyRequestOption(C, R, "net-link-word-ns", "fast", Err));
+  EXPECT_FALSE(applyRequestOption(C, R, "dist-block", "0", Err));
 }
 
 TEST(OptionTableTest, EnvironmentGoesThroughTheSameTable) {
