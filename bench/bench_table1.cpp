@@ -22,6 +22,7 @@
 #include "interp/Lower.h"
 #include "service/CompileService.h"
 #include "support/CommProfiler.h"
+#include "support/Metrics.h"
 #include "support/TablePrinter.h"
 #include "support/ThreadPool.h"
 #include "support/Trace.h"
@@ -468,6 +469,9 @@ int main(int argc, char **argv) {
   for (unsigned Clients : {1u, 4u, 8u}) {
     ServiceConfig SC;
     SC.Workers = Clients;
+    // Record into the process-wide registry so the sweep's cache hit/miss
+    // counts land in the "metrics" block of BENCH_comm.json.
+    SC.Metrics = &MetricsRegistry::global();
     CompileService Svc(SC);
     RunRequest RR;
     RR.Nodes = 4;
@@ -700,6 +704,12 @@ int main(int argc, char **argv) {
       Out << Buf;
     }
     Out << "]},\n";
+    // Host-side operational metrics for this bench process: service cache
+    // hit/miss counters from the request sweep and per-stage pipeline
+    // wall-ns histograms. CI shape-checks this block (hit counts and stage
+    // coverage); the latency numbers themselves are host-dependent.
+    Out << "  \"metrics\": " << MetricsRegistry::global().snapshotJson()
+        << ",\n";
     Out << "  \"counters\": " << Counters.stats().json() << "\n}\n";
     std::printf("\nwrote counter report to %s\n", JsonPath.c_str());
   }

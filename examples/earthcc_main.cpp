@@ -31,6 +31,10 @@
 //   --profile[=json]    per-site communication profile: a table joining each
 //                       comm site's optimizer remarks with its dynamic
 //                       message counts / words / latency percentiles
+//   --profile-diff A B  load two --profile=json files and print per-site
+//                       deltas joined by (function, line, col, op)
+//   --metrics[=json|prom]  dump the process metrics registry (cache and
+//                       stage counters, latency histograms) at exit
 //   --remarks           print the optimizer's structured remarks
 //   --workload NAME     run an embedded Olden workload (power, perimeter,
 //                       tsp, health, voronoi) instead of a source file
@@ -40,10 +44,12 @@
 //===----------------------------------------------------------------------===//
 
 #include "driver/Pipeline.h"
+#include "driver/ProfileData.h"
 #include "driver/ProfileReport.h"
 #include "service/Serve.h"
 #include "simple/Printer.h"
 #include "support/CommProfiler.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 #include "workloads/Workloads.h"
 
@@ -80,6 +86,10 @@ static void usage(const char *Argv0) {
                "  --stats                optimizer + dynamic statistics\n"
                "  --trace FILE           write a Chrome trace\n"
                "  --profile[=json]       per-site communication profile\n"
+               "  --profile-diff A B     diff two --profile=json files per\n"
+               "                         site and exit\n"
+               "  --metrics[=json|prom]  host-side metrics snapshot at exit\n"
+               "                         (bare flag prints both forms)\n"
                "  --remarks              print optimizer remarks\n");
 }
 
@@ -88,6 +98,46 @@ static const RequestOption *findOption(const std::string &Name) {
     if (Name == O.Name)
       return &O;
   return nullptr;
+}
+
+/// Prints the process metrics registry on stdout in the requested form(s).
+/// Purely observational output: it runs after all results have been
+/// produced, so it cannot perturb them.
+static void emitMetrics(const std::string &Mode) {
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  if (Mode == "json" || Mode == "both")
+    std::printf("%s\n", Reg.snapshotJson().c_str());
+  if (Mode == "prom" || Mode == "both")
+    std::printf("%s", Reg.prometheusText().c_str());
+}
+
+/// `earthcc --profile-diff A.json B.json`: load both persisted profiles and
+/// print the per-site delta table.
+static int runProfileDiff(const std::string &PathA, const std::string &PathB) {
+  auto ReadAll = [](const std::string &Path, std::string &Out) {
+    std::ifstream In(Path);
+    if (!In)
+      return false;
+    std::ostringstream Buf;
+    Buf << In.rdbuf();
+    Out = Buf.str();
+    return true;
+  };
+  std::string TextA, TextB, Err;
+  ProfileData A, B;
+  for (auto &[Path, Text, Data] :
+       {std::tie(PathA, TextA, A), std::tie(PathB, TextB, B)}) {
+    if (!ReadAll(Path, Text)) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+      return 1;
+    }
+    if (!loadProfileJson(Text, Data, Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+      return 1;
+    }
+  }
+  std::printf("%s", renderProfileDiff(A, B, PathA, PathB).c_str());
+  return 0;
 }
 
 int main(int argc, char **argv) {
@@ -106,6 +156,8 @@ int main(int argc, char **argv) {
   bool Stats = false, Profile = false, ProfileJson = false;
   bool PrintRemarks = false;
   std::string TracePath, Path, WorkloadName;
+  std::string MetricsMode;           // "", "json", "prom" or "both"
+  std::string DiffPathA, DiffPathB;  // --profile-diff operands
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -162,6 +214,26 @@ int main(int argc, char **argv) {
     } else if (Name == "profile") {
       Profile = true;
       ProfileJson = (Value == "json");
+    } else if (Name == "metrics") {
+      MetricsMode = HasValue ? Value : "both";
+      if (MetricsMode != "json" && MetricsMode != "prom" &&
+          MetricsMode != "both") {
+        std::fprintf(stderr,
+                     "error: --metrics takes 'json' or 'prom' (bare flag "
+                     "prints both)\n");
+        return 2;
+      }
+    } else if (Name == "profile-diff") {
+      // Consumes two operands: the baseline and the comparison profile.
+      if (!NeedValue())
+        return 2;
+      DiffPathA = Value;
+      if (I + 1 >= argc) {
+        std::fprintf(stderr,
+                     "error: --profile-diff needs two profile files\n");
+        return 2;
+      }
+      DiffPathB = argv[++I];
     } else if (Name == "remarks") {
       PrintRemarks = true;
     } else if (Name == "trace") {
@@ -188,6 +260,9 @@ int main(int argc, char **argv) {
     }
   }
 
+  if (!DiffPathA.empty())
+    return runProfileDiff(DiffPathA, DiffPathB);
+
   if (Serve) {
     if (!Path.empty() || !WorkloadName.empty()) {
       std::fprintf(stderr, "error: --serve takes no program argument\n");
@@ -199,6 +274,8 @@ int main(int argc, char **argv) {
     SO.BaseCompile = CReq; // process-wide defaults under each request
     SO.BaseRun = RReq;
     runServeLoop(std::cin, std::cout, SO);
+    if (!MetricsMode.empty())
+      emitMetrics(MetricsMode);
     return 0;
   }
 
@@ -302,5 +379,7 @@ int main(int argc, char **argv) {
                    SR.WallNs / 1e3);
     std::fprintf(stderr, "%s", CR.Stats.str().c_str());
   }
+  if (!MetricsMode.empty())
+    emitMetrics(MetricsMode);
   return static_cast<int>(R.ExitValue.I);
 }

@@ -12,15 +12,26 @@
 //   earthserve_client [--server "path/to/earthcc --serve ..."]
 //                     [--requests N] [--distinct K] [--workload NAME]
 //                     [--nodes N] [--topology NAME] [--distribution NAME]
-//                     [--profile]
+//                     [--profile] [--metrics-every N]
 //
 // `--distinct K` rotates the traffic over K distinct cache keys (the source
 // is salted with a block comment), so K=1 measures a pure warm-cache hit
 // stream and K=N a pure cold-miss stream.
 //
+// `--metrics-every N` interleaves a `{"op":"metrics"}` poll after every N
+// collected responses and prints one summary line per poll (server-side
+// cache verdicts and queue depth) — the live view of the same registry the
+// final `stats` numbers come from.
+//
+// Per-op latencies are recorded into a client-side Metrics histogram
+// (support/Metrics.h) as well as the exact sorted list, so the reported
+// p50/p95/p99 exercise the very bucketing the server uses — a drift between
+// the two forms is a client-visible sanity check on the server histograms.
+//
 //===----------------------------------------------------------------------===//
 
 #include "support/Json.h"
+#include "support/Metrics.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
@@ -98,6 +109,36 @@ double nowMs() {
       .count();
 }
 
+/// Sums the "svc.requests" counter rows of a metrics snapshot whose labels
+/// match \p Op and \p Outcome.
+uint64_t sumRequests(const json::Value &Snapshot, const std::string &Op,
+                     const std::string &Outcome) {
+  const json::Value *Counters = Snapshot.find("counters");
+  if (!Counters || !Counters->isArray())
+    return 0;
+  uint64_t Sum = 0;
+  for (const json::Value &Row : Counters->items()) {
+    if (Row.getString("name", "") != "svc.requests")
+      continue;
+    const json::Value *Labels = Row.find("labels");
+    if (!Labels || Labels->getString("op", "") != Op ||
+        Labels->getString("outcome", "") != Outcome)
+      continue;
+    Sum += static_cast<uint64_t>(Row.getNumber("value", 0));
+  }
+  return Sum;
+}
+
+int64_t gaugeValue(const json::Value &Snapshot, const std::string &Name) {
+  const json::Value *Gauges = Snapshot.find("gauges");
+  if (!Gauges || !Gauges->isArray())
+    return 0;
+  for (const json::Value &Row : Gauges->items())
+    if (Row.getString("name", "") == Name)
+      return static_cast<int64_t>(Row.getNumber("value", 0));
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -109,6 +150,7 @@ int main(int argc, char **argv) {
   std::string TopologyName;     // empty = server default (ideal)
   std::string DistributionName; // empty = server default (cyclic)
   bool Profile = false;
+  unsigned MetricsEvery = 0; // 0 = no metrics polling
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -138,12 +180,16 @@ int main(int argc, char **argv) {
         DistributionName = V;
     } else if (Arg == "--profile") {
       Profile = true;
+    } else if (Arg == "--metrics-every") {
+      if (const char *V = Next())
+        MetricsEvery = static_cast<unsigned>(std::atoi(V));
     } else {
       std::fprintf(stderr,
                    "usage: %s [--server CMD] [--workload NAME] "
                    "[--requests N] [--distinct K] [--nodes N] "
                    "[--topology ideal|bus|mesh2d|torus2d|fattree] "
-                   "[--distribution cyclic|block] [--profile]\n",
+                   "[--distribution cyclic|block] [--profile] "
+                   "[--metrics-every N]\n",
                    argv[0]);
       return 2;
     }
@@ -212,33 +258,74 @@ int main(int argc, char **argv) {
 
   unsigned OK = 0, Failed = 0, CacheHits = 0, CompileHits = 0;
   std::vector<double> LatencyMs;
+  // The client-side per-op latency histogram: same fixed-bucket layout the
+  // server's svc.request_ns uses, so the p50/p95/p99 printed below are
+  // directly comparable with a server-side metrics snapshot.
+  MetricsRegistry ClientReg;
+  Histogram RunNs = ClientReg.histogram("client.op_ns", {{"op", "run"}});
+  unsigned MetricsPolls = 0;
+  auto printMetricsPoll = [&](const json::Value &Resp) {
+    ++MetricsPolls;
+    if (const json::Value *Snap = Resp.find("metrics"))
+      std::printf("[metrics poll %u] run: hits %llu  waits %llu  "
+                  "misses %llu  queue depth %lld\n",
+                  MetricsPolls,
+                  (unsigned long long)sumRequests(*Snap, "run", "hit"),
+                  (unsigned long long)sumRequests(*Snap, "run", "wait"),
+                  (unsigned long long)sumRequests(*Snap, "run", "miss"),
+                  (long long)gaugeValue(*Snap, "svc.queue_depth"));
+  };
   std::string Line;
-  for (unsigned Got = 0; Got < Requests && readLine(S.Out, Line); ++Got) {
+  unsigned Got = 0;
+  while (Got < Requests && readLine(S.Out, Line)) {
     json::Value Resp;
     std::string Err;
     if (!json::parse(Line, Resp, Err)) {
       std::fprintf(stderr, "bad response: %s (%s)\n", Line.c_str(),
                    Err.c_str());
       ++Failed;
+      ++Got;
       continue;
     }
+    if (Resp.getString("op", "") == "metrics") {
+      // A poll answer, not one of our run responses: print the live server
+      // view and keep collecting.
+      printMetricsPoll(Resp);
+      continue;
+    }
+    ++Got;
     long Id = static_cast<long>(Resp.getNumber("id", -1));
     auto Sent = SendMs.find(Id);
-    if (Sent != SendMs.end())
-      LatencyMs.push_back(nowMs() - Sent->second);
+    if (Sent != SendMs.end()) {
+      double Ms = nowMs() - Sent->second;
+      LatencyMs.push_back(Ms);
+      RunNs.observe(Ms <= 0 ? 0 : static_cast<uint64_t>(Ms * 1e6));
+    }
     if (Resp.getBool("ok", false))
       ++OK;
     else
       ++Failed;
     CacheHits += Resp.getBool("cache_hit", false);
     CompileHits += Resp.getBool("compile_cache_hit", false);
+    if (MetricsEvery && Got % MetricsEvery == 0 && Got < Requests) {
+      std::fprintf(S.In, "{\"id\":%u,\"op\":\"metrics\"}\n",
+                   1000000 + MetricsPolls + 1);
+      std::fflush(S.In);
+    }
   }
   double WallMs = nowMs() - T0;
 
-  // Clean shutdown: the server drains, answers once, and exits.
+  // Clean shutdown: the server drains, answers once, and exits. Poll
+  // answers the server wrote after our last run response are still in the
+  // pipe — read everything to EOF so fast runs still show their polls.
   std::fprintf(S.In, "{\"op\":\"shutdown\"}\n");
   std::fflush(S.In);
-  readLine(S.Out, Line);
+  while (readLine(S.Out, Line)) {
+    json::Value Resp;
+    std::string Err;
+    if (json::parse(Line, Resp, Err) && Resp.getString("op", "") == "metrics")
+      printMetricsPoll(Resp);
+  }
   std::fclose(S.In);
   std::fclose(S.Out);
   int Status = 0;
@@ -258,5 +345,11 @@ int main(int argc, char **argv) {
               WallMs > 0 ? Requests * 1000.0 / WallMs : 0.0);
   std::printf("latency ms: p50 %.2f  p90 %.2f  max %.2f\n", Pct(0.5),
               Pct(0.9), LatencyMs.empty() ? 0.0 : LatencyMs.back());
+  // Histogram-derived per-op percentiles (bucket lower bounds, ns -> ms):
+  // the same estimator the server's svc.request_ns histograms use.
+  std::printf("latency ms (hist, op=run): p50 %.2f  p95 %.2f  p99 %.2f  "
+              "(%llu samples)\n",
+              RunNs.percentile(50) / 1e6, RunNs.percentile(95) / 1e6,
+              RunNs.percentile(99) / 1e6, (unsigned long long)RunNs.count());
   return Failed == 0 && WIFEXITED(Status) && WEXITSTATUS(Status) == 0 ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "interp/Lower.h"
 #include "simple/Printer.h"
 #include "simple/Verifier.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 using namespace earthcc;
@@ -54,6 +55,14 @@ bool Pipeline::runStageOn(const char *Name, ModuleGetter &&GetM,
   Rep.WallNs = std::chrono::duration<double, std::nano>(T1 - T0).count();
   if (MergeInto)
     MergeInto->merge(Rep.Counters);
+
+  // Host-side observability only: the same wall time the trace span gets
+  // also lands in the process metrics registry, so per-stage timing is
+  // queryable live (serve "metrics" op, --metrics) instead of only via
+  // --trace. Nothing here feeds back into compilation.
+  MetricsRegistry::global()
+      .histogram("pipeline.stage_ns", {{"stage", Name}})
+      .observe(Rep.WallNs <= 0 ? 0 : static_cast<uint64_t>(Rep.WallNs));
 
   if (Sink) {
     TraceEvent E;

@@ -134,7 +134,7 @@ std::string earthcc::profileReportJson(const Module &M,
   auto RemarkIndex = indexRemarks(Remarks);
 
   std::ostringstream OS;
-  OS << "{\"sites\": [";
+  OS << "{\"version\": " << ProfileJsonVersion << ", \"sites\": [";
   bool First = true;
   for (const CommSite &S : Table.sites()) {
     if (static_cast<unsigned>(S.Id) >= Prof.numSites())

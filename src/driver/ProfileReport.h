@@ -36,10 +36,19 @@ class RemarkStream;
 std::string renderProfileReport(const Module &M, const CommProfiler &Prof,
                                 const RemarkStream *Remarks);
 
-/// The same join as one JSON object: {"sites": [...], "traffic_words":
-/// [[...]], "total_msgs": N}. Each site row carries the static identity
-/// (function, line, col, op, access), the dynamic numbers, and the set of
-/// remark categories attached to its location.
+/// Schema version stamped into profileReportJson output. Bump on any
+/// incompatible change to the field set; driver/ProfileData.h loads this
+/// format back and refuses versions it does not understand.
+constexpr unsigned ProfileJsonVersion = 1;
+
+/// The same join as one JSON object: {"version": 1, "sites": [...],
+/// "total_msgs": N, "traffic_words": [[...]]}. Each site row carries the
+/// static identity (function, line, col, op, access), the dynamic numbers,
+/// and the set of remark categories attached to its location. Site ids are
+/// assigned by simple/CommSites.h as a pure function of the module, so they
+/// are stable across runs of the same compiled module; across *different*
+/// optimization levels rows must be joined by (function, line, col, op) —
+/// see driver/ProfileData.h.
 std::string profileReportJson(const Module &M, const CommProfiler &Prof,
                               const RemarkStream *Remarks);
 

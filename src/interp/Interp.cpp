@@ -10,9 +10,11 @@
 #include "interp/Lower.h"
 #include "simple/CommSites.h"
 #include "support/CommProfiler.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <deque>
 #include <map>
@@ -1236,7 +1238,30 @@ RunResult Interp::run(const std::string &Entry,
 RunResult earthcc::runProgram(const Module &M, const MachineConfig &Config,
                               const std::string &Entry,
                               const std::vector<RtValue> &Args) {
-  if (Config.Engine == ExecEngine::Bytecode)
-    return runProgramBytecode(getOrLowerBytecode(M), Config, Entry, Args);
-  return Interp(M, Config).run(Entry, Args);
+  auto T0 = std::chrono::steady_clock::now();
+  RunResult R = Config.Engine == ExecEngine::Bytecode
+                    ? runProgramBytecode(getOrLowerBytecode(M), Config, Entry,
+                                         Args)
+                    : Interp(M, Config).run(Entry, Args);
+  auto T1 = std::chrono::steady_clock::now();
+
+  // Host-side dispatch metrics into the process registry. Strictly
+  // observational: RunResult, simulated time and profiles are computed
+  // before any of this runs, so results stay bit-identical with metrics on.
+  const char *EngineName =
+      Config.Engine == ExecEngine::Bytecode ? "bytecode" : "ast";
+  MetricsRegistry &Reg = MetricsRegistry::global();
+  Reg.counter("engine.runs", {{"engine", EngineName}}).inc();
+  Reg.counter("engine.steps", {{"engine", EngineName}}).inc(R.StepsExecuted);
+  if (R.FusedDispatches) {
+    Reg.counter("engine.fused_dispatches", {{"engine", EngineName}})
+        .inc(R.FusedDispatches);
+    Reg.counter("engine.fused_steps", {{"engine", EngineName}})
+        .inc(R.FusedSteps);
+  }
+  auto WallNs =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(T1 - T0).count();
+  Reg.histogram("engine.run_wall_ns", {{"engine", EngineName}})
+      .observe(WallNs <= 0 ? 0 : static_cast<uint64_t>(WallNs));
+  return R;
 }

@@ -53,8 +53,36 @@ std::string combinedKeyBytes(const std::string &CKey, const std::string &RKey) {
 } // namespace
 
 CompileService::CompileService(ServiceConfig Config)
-    : Cfg(Config), Epoch(std::chrono::steady_clock::now()),
-      Pool(Config.Workers) {}
+    : Cfg(Config),
+      OwnedReg(Config.Metrics ? nullptr : new MetricsRegistry()),
+      Reg(Config.Metrics ? Config.Metrics : OwnedReg.get()),
+      Epoch(std::chrono::steady_clock::now()), Pool(Config.Workers) {
+  // Registry-backed counters replacing the old ServiceStats fields. The
+  // request total is derived (hit + wait + miss), never double-counted.
+  CompileHits =
+      Reg->counter("svc.requests", {{"op", "compile"}, {"outcome", "hit"}});
+  CompileWaits =
+      Reg->counter("svc.requests", {{"op", "compile"}, {"outcome", "wait"}});
+  CompileExecs =
+      Reg->counter("svc.requests", {{"op", "compile"}, {"outcome", "miss"}});
+  RunHits = Reg->counter("svc.requests", {{"op", "run"}, {"outcome", "hit"}});
+  RunWaits =
+      Reg->counter("svc.requests", {{"op", "run"}, {"outcome", "wait"}});
+  RunExecs =
+      Reg->counter("svc.requests", {{"op", "run"}, {"outcome", "miss"}});
+  EvictionCount = Reg->counter("svc.evictions");
+  CacheBytesGauge = Reg->gauge("svc.cache_bytes");
+  CacheEntriesGauge = Reg->gauge("svc.cache_entries");
+  QueueDepthGauge = Reg->gauge("svc.queue_depth");
+  CompileReqNs[0] = Reg->histogram(
+      "svc.request_ns", {{"op", "compile"}, {"outcome", "miss"}});
+  CompileReqNs[1] = Reg->histogram("svc.request_ns",
+                                   {{"op", "compile"}, {"outcome", "hit"}});
+  RunReqNs[0] =
+      Reg->histogram("svc.request_ns", {{"op", "run"}, {"outcome", "miss"}});
+  RunReqNs[1] =
+      Reg->histogram("svc.request_ns", {{"op", "run"}, {"outcome", "hit"}});
+}
 
 CompileService::~CompileService() {
   // ThreadPool's destructor (it is the last member, destroyed first) lets
@@ -72,19 +100,26 @@ double CompileService::nowNs() const {
 // Submission
 //===----------------------------------------------------------------------===//
 
+// Queue depth counts submitted-but-unfinished requests (queued + running):
+// +1 at submission, -1 when the handler's completion has been delivered.
+
 std::future<CompileResponse> CompileService::submitCompile(CompileRequest Req) {
   auto Prom = std::make_shared<std::promise<CompileResponse>>();
   std::future<CompileResponse> Fut = Prom->get_future();
+  QueueDepthGauge.add(1);
   Pool.run([this, Req = std::move(Req), Prom]() mutable {
     Prom->set_value(handleCompile(Req));
+    QueueDepthGauge.add(-1);
   });
   return Fut;
 }
 
 void CompileService::submitCompile(CompileRequest Req,
                                    std::function<void(CompileResponse)> Done) {
+  QueueDepthGauge.add(1);
   Pool.run([this, Req = std::move(Req), Done = std::move(Done)]() mutable {
     Done(handleCompile(Req));
+    QueueDepthGauge.add(-1);
   });
 }
 
@@ -92,18 +127,22 @@ std::future<RunResponse> CompileService::submitRun(CompileRequest CReq,
                                                    RunRequest RReq) {
   auto Prom = std::make_shared<std::promise<RunResponse>>();
   std::future<RunResponse> Fut = Prom->get_future();
+  QueueDepthGauge.add(1);
   Pool.run(
       [this, CReq = std::move(CReq), RReq = std::move(RReq), Prom]() mutable {
         Prom->set_value(handleRun(CReq, RReq));
+        QueueDepthGauge.add(-1);
       });
   return Fut;
 }
 
 void CompileService::submitRun(CompileRequest CReq, RunRequest RReq,
                                std::function<void(RunResponse)> Done) {
+  QueueDepthGauge.add(1);
   Pool.run([this, CReq = std::move(CReq), RReq = std::move(RReq),
             Done = std::move(Done)]() mutable {
     Done(handleRun(CReq, RReq));
+    QueueDepthGauge.add(-1);
   });
 }
 
@@ -122,6 +161,8 @@ CompileResponse CompileService::handleCompile(const CompileRequest &Req) {
   Resp.CacheHit = Hit;
   Resp.Artifact = std::move(Art);
   Resp.WallNs = nowNs() - Start;
+  CompileReqNs[Hit].observe(
+      Resp.WallNs <= 0 ? 0 : static_cast<uint64_t>(Resp.WallNs));
   traceRequest("compile", Resp.Key, Hit, Start, Resp.WallNs);
   return Resp;
 }
@@ -143,6 +184,8 @@ RunResponse CompileService::handleRun(const CompileRequest &CReq,
   Resp.Sim = std::move(Sim);
   Resp.Artifact = std::move(Art);
   Resp.WallNs = nowNs() - Start;
+  RunReqNs[Hit].observe(Resp.WallNs <= 0 ? 0
+                                         : static_cast<uint64_t>(Resp.WallNs));
   traceRequest("run", Resp.Key, Hit, Start, Resp.WallNs);
   return Resp;
 }
@@ -178,19 +221,18 @@ CompileService::getOrCompile(const CompileRequest &Req, bool &Hit) {
   bool Owner = false;
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    ++St.CompileRequests;
     auto It = Compiles.find(KeyBytes);
     if (It != Compiles.end()) {
       It->second.LastUse = ++Clock;
       // A completed artifact and an in-flight join both count as "served
-      // without executing" to the caller; stats split them.
+      // without executing" to the caller; the counters split them.
       Hit = true;
-      ++(It->second.Done ? St.CompileHits : St.CompileWaits);
+      (It->second.Done ? CompileHits : CompileWaits).inc();
       Fut = It->second.Fut;
     } else {
       Owner = true;
       Hit = false;
-      ++St.CompileExecutions;
+      CompileExecs.inc();
       Slot<CompiledArtifact> S;
       S.Fut = Promise.get_future().share();
       S.LastUse = ++Clock;
@@ -242,17 +284,16 @@ CompileService::getOrRun(const CompileRequest &CReq, const RunRequest &RReq,
   bool Owner = false;
   {
     std::lock_guard<std::mutex> Lock(Mu);
-    ++St.RunRequests;
     auto It = Runs.find(KeyBytes);
     if (It != Runs.end()) {
       It->second.LastUse = ++Clock;
       Hit = true; // completed or in-flight: served without executing
-      ++(It->second.Done ? St.RunHits : St.RunWaits);
+      (It->second.Done ? RunHits : RunWaits).inc();
       Fut = It->second.Fut;
     } else {
       Owner = true;
       Hit = false;
-      ++St.RunExecutions;
+      RunExecs.inc();
       Slot<SimArtifact> S;
       S.Fut = Promise.get_future().share();
       S.LastUse = ++Clock;
@@ -315,7 +356,9 @@ void CompileService::publish(std::unordered_map<std::string, Slot<T>> &Map,
   It->second.Bytes = Bytes;
   It->second.LastUse = ++Clock;
   CacheBytes += Bytes;
+  CacheEntriesGauge.add(1);
   evictLocked(KeyBytes);
+  CacheBytesGauge.set(static_cast<int64_t>(CacheBytes));
 }
 
 void CompileService::evictLocked(const std::string &Protect) {
@@ -353,13 +396,26 @@ void CompileService::evictLocked(const std::string &Protect) {
       CacheBytes -= Runs.find(*Victim)->second.Bytes;
       Runs.erase(*Victim);
     }
-    ++St.Evictions;
+    EvictionCount.inc();
+    CacheEntriesGauge.add(-1);
   }
 }
 
 ServiceStats CompileService::stats() const {
+  // A view over the registry instruments. The mutex still serializes
+  // against publish/evict so CacheBytes and the entry scan are coherent;
+  // the counters themselves are monotonic and lock-free.
   std::lock_guard<std::mutex> Lock(Mu);
-  ServiceStats S = St;
+  ServiceStats S;
+  S.CompileHits = CompileHits.value();
+  S.CompileWaits = CompileWaits.value();
+  S.CompileExecutions = CompileExecs.value();
+  S.CompileRequests = S.CompileHits + S.CompileWaits + S.CompileExecutions;
+  S.RunHits = RunHits.value();
+  S.RunWaits = RunWaits.value();
+  S.RunExecutions = RunExecs.value();
+  S.RunRequests = S.RunHits + S.RunWaits + S.RunExecutions;
+  S.Evictions = EvictionCount.value();
   S.CacheBytes = CacheBytes;
   size_t Entries = 0;
   for (const auto &KV : Compiles)

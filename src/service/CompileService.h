@@ -46,6 +46,7 @@
 #define EARTHCC_SERVICE_COMPILESERVICE_H
 
 #include "driver/Pipeline.h"
+#include "support/Metrics.h"
 #include "support/ThreadPool.h"
 
 #include <chrono>
@@ -77,12 +78,24 @@ struct ServiceConfig {
   /// synchronization. Not forwarded into pipelines — per-request run
   /// tracing goes through RunRequest::Sink.
   TraceSink *Trace = nullptr;
+  /// Metrics registry the service records into (request counters split by
+  /// op and outcome, eviction counts, cache gauges, queue depth, and
+  /// per-request latency histograms). Non-owning; null makes the service
+  /// create a private registry, so unit tests that pin exact counts never
+  /// see another instance's traffic. The `--serve` loop wires the process
+  /// registry here so the "metrics" op sees service activity.
+  MetricsRegistry *Metrics = nullptr;
 };
 
 /// Monotonic counters describing service activity. "Executions" are actual
 /// computations (cache misses), "Hits" are completed-artifact lookups, and
 /// "Waits" are single-flight joins onto a computation another request
 /// started — Hits + Waits + Executions == Requests per class.
+///
+/// This struct is a point-in-time *view*: the backing store is the
+/// service's metrics registry (`svc.requests{op,outcome}` etc.), so the
+/// same numbers are visible through stats(), the serve "stats" op, and any
+/// metrics exposition without double bookkeeping.
 struct ServiceStats {
   uint64_t CompileRequests = 0;
   uint64_t CompileExecutions = 0;
@@ -182,6 +195,10 @@ public:
 
   ServiceStats stats() const;
 
+  /// The registry this instance records into (ServiceConfig::Metrics, or
+  /// the service-private one when none was wired).
+  MetricsRegistry &metrics() { return *Reg; }
+
 private:
   template <typename T> struct Slot {
     std::shared_future<std::shared_ptr<const T>> Fut;
@@ -209,12 +226,25 @@ private:
   double nowNs() const;
 
   ServiceConfig Cfg;
+  /// Private registry when ServiceConfig::Metrics is null; kept ahead of
+  /// the handles below, which point into it.
+  std::unique_ptr<MetricsRegistry> OwnedReg;
+  MetricsRegistry *Reg = nullptr;
+  /// Registry-backed instrument handles (the former ad-hoc ServiceStats
+  /// fields). Index [0] = miss (execution), [1] = hit for the latency
+  /// histograms; single-flight waits land in the hit bucket, which is what
+  /// the response's CacheHit bit reports too.
+  Counter CompileHits, CompileWaits, CompileExecs;
+  Counter RunHits, RunWaits, RunExecs;
+  Counter EvictionCount;
+  Gauge CacheBytesGauge, CacheEntriesGauge, QueueDepthGauge;
+  Histogram CompileReqNs[2], RunReqNs[2];
+
   mutable std::mutex Mu;
   std::unordered_map<std::string, Slot<CompiledArtifact>> Compiles;
   std::unordered_map<std::string, Slot<SimArtifact>> Runs;
   uint64_t Clock = 0;
   size_t CacheBytes = 0;
-  ServiceStats St;
   std::chrono::steady_clock::time_point Epoch;
   /// Declared last: destroyed (joined, queue drained) before the caches
   /// and stats above, so in-flight handlers never touch dead members.

@@ -225,7 +225,14 @@ json::Value makeError(const json::Value &Id, const std::string &Err) {
 
 size_t earthcc::runServeLoop(std::istream &In, std::ostream &Out,
                              const ServeOptions &Opts) {
-  CompileService Service(Opts.Service);
+  // Unless the caller wired a specific registry, the serve loop records
+  // into the process-wide one — the same registry the pipeline stages and
+  // engines already use — so the "metrics" op exposes cache counters and
+  // per-stage latency histograms from one coherent snapshot.
+  ServiceConfig SC = Opts.Service;
+  if (!SC.Metrics)
+    SC.Metrics = &MetricsRegistry::global();
+  CompileService Service(SC);
   ResponseWriter Writer(Out);
   size_t Handled = 0;
   std::string Line;
@@ -266,6 +273,18 @@ size_t earthcc::runServeLoop(std::istream &In, std::ostream &Out,
       Resp.members().emplace_back(
           "workers",
           json::Value::number(static_cast<double>(Service.numWorkers())));
+      Writer.write(Resp);
+      continue;
+    }
+    if (Op == "metrics") {
+      // Live registry snapshot: service cache counters, per-stage pipeline
+      // wall-ns histograms, engine dispatch totals. Handled inline like
+      // "stats" — reads are lock-free against in-flight requests.
+      json::Value Resp = json::Value::object();
+      Resp.members().emplace_back("id", Id);
+      Resp.members().emplace_back("ok", json::Value::boolean(true));
+      Resp.members().emplace_back("op", json::Value::string("metrics"));
+      Resp.members().emplace_back("metrics", Service.metrics().snapshot());
       Writer.write(Resp);
       continue;
     }

@@ -47,19 +47,26 @@ void SiteProfile::recordLatency(uint64_t Ns) {
   if (LatHist.empty())
     LatHist.assign(NumBuckets, 0);
   ++LatHist[bucketOf(Ns)];
-  LatMinNs = Msgs == 1 ? Ns : std::min(LatMinNs, Ns);
+  // First-sample detection must come from the sample count itself, not from
+  // Msgs: the engines bump Msgs before sampling, but nothing else does, and
+  // min would otherwise stick at 0 for any standalone user.
+  ++LatCount;
+  LatMinNs = LatCount == 1 ? Ns : std::min(LatMinNs, Ns);
   LatMaxNs = std::max(LatMaxNs, Ns);
 }
 
 uint64_t SiteProfile::latencyPercentileNs(double P) const {
-  if (!Msgs || LatHist.empty())
+  if (!LatCount || LatHist.empty())
     return 0;
-  // Rank of the percentile element, 1-based: ceil(P/100 * Msgs).
-  double Exact = P * static_cast<double>(Msgs) / 100.0;
+  // Rank of the percentile element, 1-based: ceil(P/100 * LatCount). Ranking
+  // over the recorded samples (not Msgs) keeps the walk in bounds even when
+  // the two counts diverge — an empty or single-sample site must render
+  // without any divide-by-zero or off-the-end fallback.
+  double Exact = P * static_cast<double>(LatCount) / 100.0;
   uint64_t Rank = static_cast<uint64_t>(Exact);
   if (static_cast<double>(Rank) < Exact)
     ++Rank;
-  Rank = std::max<uint64_t>(1, std::min(Rank, Msgs));
+  Rank = std::max<uint64_t>(1, std::min(Rank, LatCount));
   uint64_t Seen = 0;
   for (unsigned B = 0; B != NumBuckets; ++B) {
     Seen += LatHist[B];

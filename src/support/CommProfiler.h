@@ -60,7 +60,12 @@ struct SiteProfile {
   uint64_t Words = 0;      ///< Words moved by those transactions.
   uint64_t LocalHits = 0;  ///< Local fallbacks (no remote traffic).
   double LatSumNs = 0.0;   ///< Sum of issue-start -> complete latencies.
-  uint64_t LatMinNs = 0;   ///< Minimum latency (integer ns; 0 when Msgs==0).
+  uint64_t LatCount = 0;   ///< Latency samples recorded (== Msgs for the
+                           ///< engines, which sample once per message; kept
+                           ///< separate so standalone histogram users — and
+                           ///< the diff tool's edge cases — never depend on
+                           ///< the caller mutating Msgs first).
+  uint64_t LatMinNs = 0;   ///< Minimum latency (integer ns; 0 when empty).
   uint64_t LatMaxNs = 0;   ///< Maximum latency (integer ns).
   std::vector<uint64_t> LatHist; ///< Lazily sized to NumBuckets on first use.
 
@@ -72,10 +77,11 @@ struct SiteProfile {
   void recordLatency(uint64_t Ns);
 
   /// Latency at percentile \p P (0 < P <= 100): the lower bound of the
-  /// histogram bucket holding the ceil(P% * Msgs)-th smallest latency.
-  /// Returns 0 when no messages were recorded.
+  /// histogram bucket holding the ceil(P% * LatCount)-th smallest latency.
+  /// Returns 0 when no samples were recorded; a single sample is every
+  /// percentile of itself.
   uint64_t latencyPercentileNs(double P) const;
-  double latencyMeanNs() const { return Msgs ? LatSumNs / Msgs : 0.0; }
+  double latencyMeanNs() const { return LatCount ? LatSumNs / LatCount : 0.0; }
 };
 
 /// Per-site profile table plus a per-node-pair traffic matrix. Reset by

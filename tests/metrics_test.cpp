@@ -1,0 +1,247 @@
+//===- metrics_test.cpp - Metrics registry unit tests ----------------------===//
+//
+// Part of the earthcc project.
+//
+// The registry's contracts:
+//
+//  - Identity: (name, sorted labels) names one instrument; requesting it
+//    again — even with labels in a different order — returns a handle to
+//    the same storage.
+//  - Sharded writes merge: counters and histograms updated from many
+//    threads read back the exact total.
+//  - Histogram bucketing: bucketOf/bucketLowNs are consistent inverses
+//    with bounded (~25%) relative bucket width, and percentile answers are
+//    exact functions of the recorded multiset.
+//  - Exposition: snapshot() is valid JSON in sorted instrument order;
+//    prometheusText() emits sanitized names with cumulative buckets.
+//  - Null-safety: default-constructed handles drop updates and read 0.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Metrics.h"
+
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace earthcc;
+
+TEST(MetricsIdentityTest, SameNameAndLabelsIsOneInstrument) {
+  MetricsRegistry Reg;
+  Counter A = Reg.counter("req", {{"op", "run"}, {"outcome", "hit"}});
+  // Label order must not matter: registration sorts by key.
+  Counter B = Reg.counter("req", {{"outcome", "hit"}, {"op", "run"}});
+  A.inc(3);
+  B.inc(2);
+  EXPECT_EQ(A.value(), 5u);
+  EXPECT_EQ(B.value(), 5u);
+
+  // Any differing label value (or the bare name) is a distinct instrument.
+  Counter C = Reg.counter("req", {{"op", "run"}, {"outcome", "miss"}});
+  Counter D = Reg.counter("req");
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(D.value(), 0u);
+
+  // Same identity rule for gauges and histograms.
+  Reg.gauge("depth", {{"k", "v"}}).set(7);
+  EXPECT_EQ(Reg.gauge("depth", {{"k", "v"}}).value(), 7);
+  Reg.histogram("lat").observe(10);
+  EXPECT_EQ(Reg.histogram("lat").count(), 1u);
+}
+
+TEST(MetricsIdentityTest, NullHandlesDropUpdates) {
+  Counter C;
+  Gauge G;
+  Histogram H;
+  C.inc(42);
+  G.set(42);
+  H.observe(42);
+  EXPECT_FALSE(static_cast<bool>(C));
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.percentile(50), 0u);
+}
+
+TEST(MetricsShardTest, ConcurrentIncrementsSumExactly) {
+  MetricsRegistry Reg;
+  Counter C = Reg.counter("hits");
+  Histogram H = Reg.histogram("ns");
+
+  constexpr unsigned Threads = 8, PerThread = 10000;
+  std::vector<std::thread> Pool;
+  for (unsigned T = 0; T != Threads; ++T)
+    Pool.emplace_back([&, T] {
+      for (unsigned I = 0; I != PerThread; ++I) {
+        C.inc();
+        H.observe(T + 1); // distinct per-thread sample values
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  EXPECT_EQ(C.value(), uint64_t(Threads) * PerThread);
+  EXPECT_EQ(H.count(), uint64_t(Threads) * PerThread);
+  // Sum / min / max merge across shards exactly: samples were 1..Threads,
+  // PerThread each.
+  EXPECT_EQ(H.sum(), uint64_t(PerThread) * Threads * (Threads + 1) / 2);
+  EXPECT_EQ(H.min(), 1u);
+  EXPECT_EQ(H.max(), uint64_t(Threads));
+}
+
+TEST(MetricsHistogramTest, BucketBoundsAreConsistent) {
+  // Values below 4 are exact buckets.
+  for (uint64_t V = 0; V != 4; ++V) {
+    EXPECT_EQ(Histogram::bucketOf(V), V);
+    EXPECT_EQ(Histogram::bucketLowNs(static_cast<unsigned>(V)), V);
+  }
+
+  // bucketLowNs(bucketOf(V)) <= V < bucketLowNs(bucketOf(V) + 1), with
+  // bounded relative width, across the whole range.
+  for (uint64_t V : {4ull, 5ull, 7ull, 8ull, 100ull, 1000ull, 4095ull,
+                     4096ull, 123456789ull, (1ull << 40) + 17,
+                     (1ull << 62) + (1ull << 61)}) {
+    unsigned B = Histogram::bucketOf(V);
+    ASSERT_LT(B, Histogram::NumBuckets);
+    uint64_t Low = Histogram::bucketLowNs(B);
+    EXPECT_LE(Low, V) << V;
+    if (B + 1 < Histogram::NumBuckets) {
+      uint64_t Next = Histogram::bucketLowNs(B + 1);
+      EXPECT_GT(Next, V) << V;
+      // 4 linear sub-buckets per octave: width is a quarter of the
+      // octave base, so worst-case relative error is bounded.
+      EXPECT_LE(Next - Low, Low / 2 + 1) << V;
+    }
+  }
+
+  // Bucket lows are strictly increasing (no aliasing between octaves).
+  for (unsigned B = 1; B != Histogram::NumBuckets; ++B)
+    EXPECT_GT(Histogram::bucketLowNs(B), Histogram::bucketLowNs(B - 1)) << B;
+
+  // Exact powers of two start a fresh sub-bucket.
+  for (unsigned E = 2; E != 63; ++E) {
+    uint64_t P = 1ull << E;
+    EXPECT_EQ(Histogram::bucketLowNs(Histogram::bucketOf(P)), P);
+  }
+}
+
+TEST(MetricsHistogramTest, PercentilesOnEmptySingleAndMany) {
+  MetricsRegistry Reg;
+  Histogram H = Reg.histogram("lat");
+
+  // Empty: everything reads 0.
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+  EXPECT_EQ(H.max(), 0u);
+  EXPECT_EQ(H.percentile(50), 0u);
+  EXPECT_EQ(H.percentile(99), 0u);
+
+  // A single sample is every percentile of itself (bucket lower bound).
+  H.observe(1000);
+  uint64_t Lone = Histogram::bucketLowNs(Histogram::bucketOf(1000));
+  EXPECT_EQ(H.percentile(1), Lone);
+  EXPECT_EQ(H.percentile(50), Lone);
+  EXPECT_EQ(H.percentile(100), Lone);
+  EXPECT_EQ(H.min(), 1000u);
+  EXPECT_EQ(H.max(), 1000u);
+
+  // 100 well-separated samples: rank selection must land in the right
+  // bucket (values are powers of two, so bucket lows are the values).
+  Histogram M = Reg.histogram("many");
+  for (uint64_t I = 1; I <= 100; ++I)
+    M.observe(1ull << (I % 20 + 2)); // 2^2 .. 2^21, 5 samples each
+  EXPECT_EQ(M.count(), 100u);
+  EXPECT_EQ(M.percentile(100), M.max());
+  EXPECT_LE(M.percentile(50), M.percentile(95));
+  EXPECT_LE(M.percentile(95), M.percentile(99));
+}
+
+TEST(MetricsExpositionTest, SnapshotIsSortedValidJson) {
+  MetricsRegistry Reg;
+  // Registered out of order; snapshot must render sorted by (name, labels).
+  Reg.counter("zeta").inc(9);
+  Reg.counter("alpha", {{"k", "2"}}).inc(2);
+  Reg.counter("alpha", {{"k", "1"}}).inc(1);
+  Reg.gauge("depth").set(-3);
+  Reg.histogram("ns").observe(5);
+
+  std::string Text = Reg.snapshotJson();
+  json::Value V;
+  std::string Err;
+  ASSERT_TRUE(json::parse(Text, V, Err)) << Err << "\n" << Text;
+  ASSERT_TRUE(V.isObject());
+
+  const json::Value *Counters = V.find("counters");
+  ASSERT_TRUE(Counters && Counters->isArray());
+  ASSERT_EQ(Counters->items().size(), 3u);
+  EXPECT_EQ(Counters->items()[0].getString("name", ""), "alpha");
+  EXPECT_EQ(Counters->items()[0].find("labels")->getString("k", ""), "1");
+  EXPECT_EQ(Counters->items()[1].find("labels")->getString("k", ""), "2");
+  EXPECT_EQ(Counters->items()[2].getString("name", ""), "zeta");
+  EXPECT_EQ(Counters->items()[2].getNumber("value", -1), 9);
+
+  const json::Value *Gauges = V.find("gauges");
+  ASSERT_TRUE(Gauges && Gauges->isArray());
+  EXPECT_EQ(Gauges->items()[0].getNumber("value", 0), -3);
+
+  const json::Value *Hists = V.find("histograms");
+  ASSERT_TRUE(Hists && Hists->isArray());
+  ASSERT_EQ(Hists->items().size(), 1u);
+  const json::Value &H = Hists->items()[0];
+  EXPECT_EQ(H.getNumber("count", 0), 1);
+  EXPECT_EQ(H.getNumber("sum", 0), 5);
+  EXPECT_EQ(H.getNumber("min", 0), 5);
+  EXPECT_EQ(H.getNumber("max", 0), 5);
+  const json::Value *Buckets = H.find("buckets");
+  ASSERT_TRUE(Buckets && Buckets->isArray());
+  ASSERT_EQ(Buckets->items().size(), 1u); // only non-empty buckets
+  EXPECT_EQ(Buckets->items()[0].items()[1].asNumber(), 1);
+}
+
+TEST(MetricsExpositionTest, PrometheusTextSanitizesAndCumulates) {
+  MetricsRegistry Reg;
+  Reg.counter("svc.requests", {{"op", "run"}}).inc(4);
+  Histogram H = Reg.histogram("stage-ns");
+  H.observe(2);
+  H.observe(100);
+
+  std::string Text = Reg.prometheusText("earthcc");
+  // '.' and '-' sanitize to '_'; counters get a _total suffix.
+  EXPECT_NE(Text.find("earthcc_svc_requests_total{op=\"run\"} 4"),
+            std::string::npos)
+      << Text;
+  // Histograms: cumulative buckets ending in +Inf, plus _sum and _count.
+  EXPECT_NE(Text.find("earthcc_stage_ns_bucket{le=\"+Inf\"} 2"),
+            std::string::npos)
+      << Text;
+  EXPECT_NE(Text.find("earthcc_stage_ns_sum 102"), std::string::npos);
+  EXPECT_NE(Text.find("earthcc_stage_ns_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsInstruments) {
+  MetricsRegistry Reg;
+  Counter C = Reg.counter("c");
+  Gauge G = Reg.gauge("g");
+  Histogram H = Reg.histogram("h");
+  C.inc(5);
+  G.set(5);
+  H.observe(5);
+
+  Reg.reset();
+  EXPECT_EQ(C.value(), 0u);
+  EXPECT_EQ(G.value(), 0);
+  EXPECT_EQ(H.count(), 0u);
+  EXPECT_EQ(H.min(), 0u);
+
+  // Handles stay live and usable after reset.
+  C.inc();
+  EXPECT_EQ(C.value(), 1u);
+  // And the instruments are still listed in the snapshot.
+  std::string Text = Reg.snapshotJson();
+  EXPECT_NE(Text.find("\"name\":\"g\""), std::string::npos) << Text;
+}

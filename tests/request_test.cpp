@@ -12,6 +12,7 @@
 
 #include "driver/Request.h"
 #include "support/CommProfiler.h"
+#include "support/Metrics.h"
 #include "support/Trace.h"
 
 #include <gtest/gtest.h>
@@ -173,6 +174,31 @@ TEST(RunRequestKeyTest, DispatchDoesNotPerturbKey) {
   EXPECT_EQ(A.key(), B.key());
   // But the effective machine still honors the request's choice.
   EXPECT_EQ(B.machine().Dispatch, B.Dispatch);
+}
+
+TEST(RunRequestKeyTest, MetricsExpositionIsKeyNeutral) {
+  // Metrics are host-side observability, same contract as engine / fuse /
+  // dispatch / trace sinks: no metrics or exposition option may be request
+  // content. First, the option table must not publish one — --metrics,
+  // --profile-diff and the serve "metrics" op are driver-surface flags.
+  for (const RequestOption &O : requestOptions())
+    EXPECT_EQ(std::string(O.Name).find("metric"), std::string::npos)
+        << O.Name;
+
+  // Second, key bytes must not embed any metrics state: recording into the
+  // process registry (what --metrics and the serve op expose) between two
+  // serializations must leave both keys byte-identical.
+  CompileRequest C = CompileRequest::optimized(Src);
+  RunRequest R;
+  const std::string CK = C.keyBytes(), RK = R.keyBytes();
+  EXPECT_EQ(CK.find("metric"), std::string::npos);
+  EXPECT_EQ(RK.find("metric"), std::string::npos);
+  MetricsRegistry::global().counter("test.request_key_probe").inc();
+  MetricsRegistry::global()
+      .histogram("test.request_key_probe_ns")
+      .observe(123);
+  EXPECT_EQ(C.keyBytes(), CK);
+  EXPECT_EQ(R.keyBytes(), RK);
 }
 
 TEST(RunRequestKeyTest, SequentialNormalizesNodeCount) {

@@ -17,10 +17,13 @@
 //===----------------------------------------------------------------------===//
 
 #include "service/CompileService.h"
+#include "service/Serve.h"
+#include "support/Metrics.h"
 
 #include <gtest/gtest.h>
 
 #include <future>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -287,6 +290,113 @@ TEST(ServiceTraceTest, ServiceSinkSeesOneSpanPerRequest) {
   }
   EXPECT_EQ(Spans, 2u);
   EXPECT_EQ(Hits, 1u); // second request was the cache hit
+}
+
+TEST(ServiceMetricsTest, RegistryCountersBackTheStatsView) {
+  // Each service without an explicit ServiceConfig::Metrics owns a private
+  // registry, so counts here are exact regardless of other tests.
+  CompileService S(workers(2));
+  CompileRequest Opt = CompileRequest::optimized(Program);
+  ASSERT_TRUE(S.submitCompile(Opt).get().OK);
+  EXPECT_TRUE(S.submitCompile(Opt).get().CacheHit);
+
+  MetricsRegistry &Reg = S.metrics();
+  EXPECT_EQ(Reg.counter("svc.requests", {{"op", "compile"},
+                                         {"outcome", "miss"}})
+                .value(),
+            1u);
+  EXPECT_EQ(Reg.counter("svc.requests", {{"op", "compile"},
+                                         {"outcome", "hit"}})
+                    .value() +
+                Reg.counter("svc.requests", {{"op", "compile"},
+                                             {"outcome", "wait"}})
+                    .value(),
+            1u);
+  // Both requests observed a latency sample, split by outcome.
+  EXPECT_EQ(Reg.histogram("svc.request_ns", {{"op", "compile"},
+                                             {"outcome", "miss"}})
+                .count(),
+            1u);
+  EXPECT_EQ(Reg.histogram("svc.request_ns", {{"op", "compile"},
+                                             {"outcome", "hit"}})
+                .count(),
+            1u);
+
+  // stats() is a point-in-time view over these same counters and gauges.
+  ServiceStats St = S.stats();
+  EXPECT_EQ(St.CompileRequests, 2u);
+  EXPECT_EQ(St.CompileExecutions, 1u);
+  EXPECT_EQ(static_cast<int64_t>(St.CacheEntries),
+            Reg.gauge("svc.cache_entries").value());
+  EXPECT_EQ(static_cast<int64_t>(St.CacheBytes),
+            Reg.gauge("svc.cache_bytes").value());
+
+  // A second service's private registry is untouched by the first.
+  CompileService Fresh(workers(1));
+  EXPECT_EQ(Fresh.metrics()
+                .counter("svc.requests",
+                         {{"op", "compile"}, {"outcome", "miss"}})
+                .value(),
+            0u);
+}
+
+TEST(ServeMetricsTest, MetricsOpAnswersWithRegistrySnapshot) {
+  // The "metrics" op over the serve protocol returns the wired registry's
+  // snapshot; after shutdown drains, the registry holds the final counts:
+  // one pipeline execution and one cache hit (or in-flight join) for the
+  // two identical runs.
+  MetricsRegistry Reg;
+  ServeOptions Opts;
+  Opts.Service.Workers = 2;
+  Opts.Service.Metrics = &Reg;
+
+  std::istringstream In(
+      "{\"id\":1,\"op\":\"run\",\"workload\":\"power\",\"nodes\":2}\n"
+      "{\"id\":2,\"op\":\"run\",\"workload\":\"power\",\"nodes\":2}\n"
+      "{\"id\":3,\"op\":\"metrics\"}\n"
+      "{\"id\":4,\"op\":\"shutdown\"}\n");
+  std::ostringstream Out;
+  EXPECT_EQ(runServeLoop(In, Out, Opts), 4u);
+
+  const std::string Text = Out.str();
+  EXPECT_NE(Text.find("\"op\":\"metrics\""), std::string::npos) << Text;
+  EXPECT_NE(Text.find("\"svc.requests\""), std::string::npos) << Text;
+  EXPECT_NE(Text.find("\"svc.request_ns\""), std::string::npos) << Text;
+
+  uint64_t Miss =
+      Reg.counter("svc.requests", {{"op", "run"}, {"outcome", "miss"}})
+          .value();
+  uint64_t Joined =
+      Reg.counter("svc.requests", {{"op", "run"}, {"outcome", "hit"}})
+          .value() +
+      Reg.counter("svc.requests", {{"op", "run"}, {"outcome", "wait"}})
+          .value();
+  EXPECT_EQ(Miss, 1u);
+  EXPECT_EQ(Joined, 1u);
+}
+
+TEST(ServeMetricsTest, GlobalRegistryCarriesStageHistogramsAcrossSessions) {
+  // Without an explicit registry the serve loop records into the
+  // process-wide one — the same registry Pipeline stages and engines use.
+  // A first session executes a run; a second session's "metrics" op then
+  // reports those per-stage wall-ns histograms and engine dispatch totals
+  // alongside its own (empty) cache counters.
+  ServeOptions Opts;
+  Opts.Service.Workers = 1;
+  {
+    std::istringstream In(
+        "{\"id\":1,\"op\":\"run\",\"workload\":\"power\",\"nodes\":2}\n"
+        "{\"id\":2,\"op\":\"shutdown\"}\n");
+    std::ostringstream Out;
+    runServeLoop(In, Out, Opts);
+    ASSERT_NE(Out.str().find("\"ok\":true"), std::string::npos) << Out.str();
+  }
+  std::istringstream In(
+      "{\"id\":1,\"op\":\"metrics\"}\n{\"id\":2,\"op\":\"shutdown\"}\n");
+  std::ostringstream Out;
+  runServeLoop(In, Out, Opts);
+  EXPECT_NE(Out.str().find("\"pipeline.stage_ns\""), std::string::npos);
+  EXPECT_NE(Out.str().find("\"engine.runs\""), std::string::npos);
 }
 
 TEST(ServiceShutdownTest, DestructionDrainsPendingRequests) {

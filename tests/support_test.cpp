@@ -230,7 +230,7 @@ TEST(CommProfilerTest, PercentileIsBucketLowerBound) {
   SiteProfile S;
   // Four exact (<16 ns) latencies: 2, 4, 6, 8.
   for (uint64_t Ns : {2ull, 4ull, 6ull, 8ull}) {
-    ++S.Msgs; // recordLatency's min-tracking keys off Msgs == 1
+    ++S.Msgs; // mirror the engines, which bump Msgs alongside each sample
     S.recordLatency(Ns);
   }
   EXPECT_EQ(S.LatMinNs, 2u);
@@ -291,7 +291,7 @@ TEST(CommProfilerTest, PercentileAtPowerOfTwoBucketBoundaries) {
   const uint64_t Lats[] = {16, 32, 1024, 1ull << 20};
   for (uint64_t Ns : Lats) {
     ASSERT_EQ(SiteProfile::bucketLowNs(SiteProfile::bucketOf(Ns)), Ns);
-    ++S.Msgs; // recordLatency's min-tracking keys off Msgs == 1
+    ++S.Msgs; // mirror the engines, which bump Msgs alongside each sample
     S.recordLatency(Ns);
   }
   EXPECT_EQ(S.latencyPercentileNs(25), 16u);
@@ -307,14 +307,41 @@ TEST(CommProfilerTest, PercentileSingleMessageHistogram) {
   SiteProfile S;
   ++S.Msgs;
   S.recordLatency(777);
-  // With one message every percentile selects it (rank clamps to [1, Msgs]),
-  // and the answer is its bucket's lower bound.
+  // With one sample every percentile selects it (rank clamps to
+  // [1, LatCount]), and the answer is its bucket's lower bound.
   const uint64_t Bound = SiteProfile::bucketLowNs(SiteProfile::bucketOf(777));
   EXPECT_LE(Bound, 777u);
   for (double P : {0.0, 0.1, 50.0, 99.9, 100.0})
     EXPECT_EQ(S.latencyPercentileNs(P), Bound) << P;
   EXPECT_EQ(S.LatMinNs, 777u);
   EXPECT_EQ(S.LatMaxNs, 777u);
+}
+
+TEST(CommProfilerTest, EmptySiteReadsAllZeroes) {
+  // A site that never fired must render without dividing by zero or
+  // walking off the histogram: every statistic reads 0.
+  SiteProfile S;
+  EXPECT_EQ(S.LatCount, 0u);
+  EXPECT_DOUBLE_EQ(S.latencyMeanNs(), 0.0);
+  for (double P : {0.0, 50.0, 100.0})
+    EXPECT_EQ(S.latencyPercentileNs(P), 0u) << P;
+  EXPECT_EQ(S.LatMinNs, 0u);
+  EXPECT_EQ(S.LatMaxNs, 0u);
+}
+
+TEST(CommProfilerTest, RecordLatencyStandsAloneWithoutMsgs) {
+  // recordLatency tracks its own sample count (LatCount), so min/max and
+  // percentiles are correct even for callers that never touch Msgs — in
+  // particular min must not stick at 0 because Msgs stayed 0.
+  SiteProfile S;
+  S.recordLatency(9);
+  S.recordLatency(5);
+  EXPECT_EQ(S.Msgs, 0u);
+  EXPECT_EQ(S.LatCount, 2u);
+  EXPECT_EQ(S.LatMinNs, 5u);
+  EXPECT_EQ(S.LatMaxNs, 9u);
+  EXPECT_EQ(S.latencyPercentileNs(50), 5u);
+  EXPECT_EQ(S.latencyPercentileNs(100), 9u);
 }
 
 //===----------------------------------------------------------------------===//
